@@ -1,0 +1,47 @@
+/**
+ * @file
+ * E16 — ablation of step 1's packing: the full tree-depth-aware
+ * block builder (deep cones packed into buddy slots) vs crippling
+ * the datapath to depth-1 trees (every node its own block slot —
+ * what a conventional VLIW array of PEs would do, cf. the BUG
+ * discussion in §VI).
+ */
+
+#include "bench/common.hh"
+
+using namespace dpu;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 1.0);
+    bench::banner("ablation_blocks",
+                  "design-choice ablation (DESIGN.md E16)");
+
+    ArchConfig deep = minEdpConfig(); // D=3, 56 PEs
+    ArchConfig flat;                  // same bank count, no trees
+    flat.depth = 1;
+    flat.banks = 64;
+    flat.regsPerBank = 32;
+
+    TablePrinter t({"workload", "cycles D=3", "cycles D=1", "speedup",
+                    "regfile reads D=3", "D=1"});
+    for (const auto &spec : smallSuite()) {
+        Dag d = buildWorkloadDag(spec, scale);
+        auto a = bench::runWorkload(d, deep);
+        auto b = bench::runWorkload(d, flat);
+        t.row()
+            .cell(spec.name)
+            .num(static_cast<long long>(a.sim.stats.cycles))
+            .num(static_cast<long long>(b.sim.stats.cycles))
+            .num(double(b.sim.stats.cycles) / a.sim.stats.cycles, 2)
+            .num(static_cast<long long>(a.sim.stats.bankReads))
+            .num(static_cast<long long>(b.sim.stats.bankReads));
+    }
+    t.print();
+    std::printf("\nExpected shape: the PE trees cut both cycles and "
+                "register-file reads (intermediate values stay in the "
+                "datapath) — the §V-B observation that raising D "
+                "improves latency at no power cost.\n");
+    return 0;
+}

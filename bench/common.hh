@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries. Every bench regenerates one
+ * table or figure of the paper (see DESIGN.md's per-experiment index)
+ * and prints the corresponding rows/series, with the paper's values
+ * alongside where they are fixed reference points.
+ */
+
+#ifndef DPU_BENCH_COMMON_HH
+#define DPU_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compiler/compiler.hh"
+#include "model/energy.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace bench {
+
+/** Everything one workload run produces. */
+struct RunResult
+{
+    CompiledProgram program;
+    SimResult sim;
+    EnergyBreakdown energy;
+};
+
+/** Deterministic inputs in the well-conditioned band. */
+inline std::vector<double>
+randomInputs(const Dag &dag, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> in(dag.numInputs());
+    for (double &x : in)
+        x = 0.5 + rng.uniform();
+    return in;
+}
+
+/** Compile + simulate (with functional check) + evaluate energy. */
+inline RunResult
+runWorkload(const Dag &dag, const ArchConfig &cfg,
+            const CompileOptions &opt = {}, uint64_t seed = 1)
+{
+    RunResult r;
+    r.program = compile(dag, cfg, opt);
+    r.sim = runAndCheck(r.program, dag, randomInputs(dag, seed));
+    r.energy = energyOf(cfg, r.sim.stats,
+                        r.program.stats.numOperations);
+    return r;
+}
+
+/** Parse a `--scale=<float>` / `--full` command line. */
+inline double
+parseScale(int argc, char **argv, double default_scale)
+{
+    double scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            scale = std::atof(argv[i] + 8);
+        else if (std::strcmp(argv[i], "--full") == 0)
+            scale = 1.0;
+    }
+    return scale;
+}
+
+/** Standard bench banner. */
+inline void
+banner(const char *experiment, const char *paper_element,
+       const std::string &note = "")
+{
+    std::printf("=== %s — reproduces %s ===\n", experiment,
+                paper_element);
+    if (!note.empty())
+        std::printf("%s\n", note.c_str());
+    std::printf("\n");
+}
+
+} // namespace bench
+} // namespace dpu
+
+#endif // DPU_BENCH_COMMON_HH

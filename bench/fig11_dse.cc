@@ -1,0 +1,52 @@
+/**
+ * @file
+ * E7 — fig. 11: the 48-point design-space exploration over
+ * (D, B, R): latency/op, energy/op and EDP per design point, plus
+ * the three optima.
+ */
+
+#include "bench/common.hh"
+#include "model/dse.hh"
+
+using namespace dpu;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 0.3);
+    bench::banner("fig11_dse", "Figure 11 (a)-(c)",
+                  "Sweep of D in {1,2,3}, B in {8..64}, R in "
+                  "{16..128}; workloads scaled by " +
+                      std::to_string(scale) +
+                      " (use --full for paper-size workloads).");
+
+    DseOptions opt;
+    opt.workloadScale = scale;
+    auto pts = exploreDesignSpace(opt);
+
+    TablePrinter t({"design", "latency/op (ns)", "energy/op (pJ)",
+                    "EDP (pJ*ns)", "area (mm2)", "power (W)"});
+    for (const auto &p : pts) {
+        if (!p.feasible) {
+            t.row().cell(p.cfg.label()).cell("-").cell("-")
+                .cell("infeasible").num(p.areaMm2, 2).cell("-");
+            continue;
+        }
+        t.row()
+            .cell(p.cfg.label())
+            .num(p.latencyPerOpNs, 3)
+            .num(p.energyPerOpPj, 1)
+            .num(p.edpPjNs, 1)
+            .num(p.areaMm2, 2)
+            .num(p.powerWatts, 3);
+    }
+    t.print();
+
+    std::printf("\nmin latency: %s (paper: D3.B64.R128)\n",
+                pts[minLatencyIndex(pts)].cfg.label().c_str());
+    std::printf("min energy:  %s (paper: D3.B16.R64)\n",
+                pts[minEnergyIndex(pts)].cfg.label().c_str());
+    std::printf("min EDP:     %s (paper: D3.B64.R32)\n",
+                pts[minEdpIndex(pts)].cfg.label().c_str());
+    return 0;
+}

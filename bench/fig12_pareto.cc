@@ -1,0 +1,50 @@
+/**
+ * @file
+ * E8 — fig. 12: latency vs energy scatter of the design space with
+ * the constant-EDP curve through the min-EDP point.
+ */
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "model/dse.hh"
+
+using namespace dpu;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 0.15);
+    bench::banner("fig12_pareto", "Figure 12",
+                  "Latency-energy scatter; '*' marks the min-EDP "
+                  "design, 'o' points on its constant-EDP curve "
+                  "within 10%.");
+
+    DseOptions opt;
+    opt.workloadScale = scale;
+    auto pts = exploreDesignSpace(opt);
+    double min_edp = pts[minEdpIndex(pts)].edpPjNs;
+
+    TablePrinter t({"design", "latency/op (ns)", "energy/op (pJ)",
+                    "EDP", "mark"});
+    for (const auto &p : pts) {
+        if (!p.feasible)
+            continue;
+        std::string mark;
+        if (p.edpPjNs == min_edp)
+            mark = "* min-EDP";
+        else if (std::abs(p.edpPjNs - min_edp) < 0.1 * min_edp)
+            mark = "o on-curve";
+        t.row()
+            .cell(p.cfg.label())
+            .num(p.latencyPerOpNs, 3)
+            .num(p.energyPerOpPj, 1)
+            .num(p.edpPjNs, 1)
+            .cell(mark);
+    }
+    t.print();
+    std::printf("\nExpected shape (paper): latency varies much more "
+                "than energy across the space (the constant-EDP curve "
+                "is shallow in the energy direction).\n");
+    return 0;
+}

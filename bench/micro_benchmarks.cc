@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the toolchain itself:
+ * compiler throughput, simulator speed, encode/decode bandwidth.
+ * Not a paper figure — engineering health of the reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/isa.hh"
+#include "compiler/compiler.hh"
+#include "dag/eval.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+Dag &
+benchDag()
+{
+    static Dag dag = [] {
+        PcParams p;
+        p.targetOperations = 20000;
+        p.depth = 32;
+        p.seed = 5;
+        return generatePc(p);
+    }();
+    return dag;
+}
+
+CompiledProgram &
+benchProgram()
+{
+    static CompiledProgram prog = compile(benchDag(), minEdpConfig());
+    return prog;
+}
+
+void
+BM_CompileMinEdp(benchmark::State &state)
+{
+    const Dag &d = benchDag();
+    for (auto _ : state) {
+        auto prog = compile(d, minEdpConfig());
+        benchmark::DoNotOptimize(prog.instructions.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(d.numOperations()));
+}
+BENCHMARK(BM_CompileMinEdp)->Unit(benchmark::kMillisecond);
+
+void
+BM_Simulate(benchmark::State &state)
+{
+    const auto &prog = benchProgram();
+    Rng rng(1);
+    std::vector<double> in(benchDag().numInputs());
+    for (auto &x : in)
+        x = 0.5 + rng.uniform();
+    Machine m(prog);
+    for (auto _ : state) {
+        auto res = m.run(in);
+        benchmark::DoNotOptimize(res.outputs.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(prog.instructions.size()));
+}
+BENCHMARK(BM_Simulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_EncodeProgram(benchmark::State &state)
+{
+    const auto &prog = benchProgram();
+    for (auto _ : state) {
+        auto image = encodeProgram(prog.cfg, prog.instructions);
+        benchmark::DoNotOptimize(image.data());
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        int64_t(programSizeBits(prog.cfg, prog.instructions) / 8));
+}
+BENCHMARK(BM_EncodeProgram)->Unit(benchmark::kMillisecond);
+
+void
+BM_DecodeProgram(benchmark::State &state)
+{
+    const auto &prog = benchProgram();
+    auto image = encodeProgram(prog.cfg, prog.instructions);
+    for (auto _ : state) {
+        auto back =
+            decodeProgram(prog.cfg, image, prog.instructions.size());
+        benchmark::DoNotOptimize(back.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            int64_t(image.size()));
+}
+BENCHMARK(BM_DecodeProgram)->Unit(benchmark::kMillisecond);
+
+void
+BM_ReferenceEvaluate(benchmark::State &state)
+{
+    const Dag &d = benchDag();
+    Rng rng(2);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = 0.5 + rng.uniform();
+    for (auto _ : state) {
+        auto v = evaluate(d, in);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(d.numOperations()));
+}
+BENCHMARK(BM_ReferenceEvaluate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace dpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * E10 — Table II: area and power breakdown of the min-EDP design,
+ * with the workload-averaged power from simulation-driven activity.
+ */
+
+#include "bench/common.hh"
+#include "model/energy.hh"
+
+using namespace dpu;
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 0.5);
+    bench::banner("table2_area_power", "Table II",
+                  "Activity from simulating the suite at scale " +
+                      std::to_string(scale) + " (--full).");
+
+    ArchConfig cfg = minEdpConfig();
+    auto area = areaOf(cfg);
+
+    constexpr size_t modules = static_cast<size_t>(Module::Count);
+    double pj[modules] = {};
+    double seconds = 0;
+    for (const auto &spec : smallSuite()) {
+        Dag d = buildWorkloadDag(spec, scale);
+        auto run = bench::runWorkload(d, cfg);
+        for (size_t m = 0; m < modules; ++m)
+            pj[m] += run.energy.byModule[m];
+        seconds += run.energy.seconds();
+    }
+
+    const double paper_area[modules] = {0.13, 0.04, 0.14, 0.01, 0.35,
+                                        0.03, 0.06, 0.04, 0.01, 1.20,
+                                        1.20};
+    const double paper_mw[modules] = {11.9, 8.0, 10.0, 0.5, 24.0, 7.8,
+                                      7.0, 2.6, 2.7, 27.7, 6.7};
+
+    TablePrinter t({"module", "area mm2", "paper", "power mW",
+                    "paper"});
+    double mw_total = 0;
+    for (size_t m = 0; m < modules; ++m) {
+        double mw = pj[m] * 1e-12 / seconds * 1e3;
+        mw_total += mw;
+        t.row()
+            .cell(moduleName(static_cast<Module>(m)))
+            .num(area.byModule[m], 3)
+            .num(paper_area[m], 2)
+            .num(mw, 1)
+            .num(paper_mw[m], 1);
+    }
+    t.row()
+        .cell("TOTAL")
+        .num(area.total, 2)
+        .num(3.2, 1)
+        .num(mw_total, 1)
+        .num(108.9, 1);
+    t.print();
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * E14 — Table III: the summary comparison across platforms for both
+ * suites, including area, power and EDP.
+ */
+
+#include "baselines/baselines.hh"
+#include "bench/common.hh"
+#include "dag/binarize.hh"
+#include "model/energy.hh"
+
+using namespace dpu;
+
+namespace {
+
+struct Platform
+{
+    std::string name;
+    double gops = 0;
+    double areaMm2 = 0;
+    double powerW = 0;
+    std::string tech;
+    double freqGhz = 0;
+};
+
+void
+printPlatforms(const std::vector<Platform> &ps, double base_gops)
+{
+    TablePrinter t({"platform", "tech", "freq GHz", "area mm2",
+                    "GOPS", "speedup", "power W", "EDP pJ*ns"});
+    for (const auto &p : ps) {
+        // EDP per op = (power * t_op) * t_op with t_op = 1/through.
+        double t_op_ns = 1.0 / p.gops; // ns per op at GOPS scale
+        double e_op_pj = p.powerW * t_op_ns; // W * ns = nJ? no:
+        // W x ns = 1e-9 J x ... power[W] * t[ns] = p*1e-9 J = p nJ;
+        // convert to pJ: *1000.
+        e_op_pj *= 1000.0;
+        t.row()
+            .cell(p.name)
+            .cell(p.tech)
+            .num(p.freqGhz, 2)
+            .num(p.areaMm2, 1)
+            .num(p.gops, 2)
+            .num(p.gops / base_gops, 2)
+            .num(p.powerW, 3)
+            .num(e_op_pj * t_op_ns, 1);
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = bench::parseScale(argc, argv, 0.5);
+    double large_scale = scale * 0.3;
+    bench::banner(
+        "table3_comparison", "Table III",
+        "Suite scale = " + std::to_string(scale) + ", large-PC scale = " +
+            std::to_string(large_scale) + " (--full).");
+
+    // ----- Small suite: DPU-v2 vs DPU vs CPU vs GPU.
+    double v2_ops = 0, v2_sec = 0, v2_pj = 0;
+    double dpu_ops = 0, dpu_sec = 0;
+    double cpu_ops = 0, cpu_sec = 0;
+    double gpu_ops = 0, gpu_sec = 0;
+    for (const auto &spec : smallSuite()) {
+        Dag raw = buildWorkloadDag(spec, scale);
+        auto run = bench::runWorkload(raw, minEdpConfig());
+        v2_ops += double(run.program.stats.numOperations);
+        v2_sec += run.energy.seconds();
+        v2_pj += run.energy.totalPj;
+        Dag d = binarize(raw).dag;
+        auto ops = double(d.numOperations());
+        dpu_ops += ops;
+        dpu_sec += runDpuV1Model(d).seconds;
+        cpu_ops += ops;
+        cpu_sec += runCpuModel(d).seconds;
+        gpu_ops += ops;
+        gpu_sec += runGpuModel(d).seconds;
+    }
+    double cpu_gops = cpu_ops / cpu_sec * 1e-9;
+    std::printf("PC (a) and SpTRSV (b) workloads:\n");
+    printPlatforms(
+        {
+            {"DPU-v2 (ours)", v2_ops / v2_sec * 1e-9,
+             areaOf(minEdpConfig()).total, v2_pj * 1e-12 / v2_sec,
+             "28nm", 0.3},
+            {"DPU [46] (model)", dpu_ops / dpu_sec * 1e-9, 3.6,
+             DpuV1ModelParams{}.powerWatts, "28nm", 0.3},
+            {"CPU [44] (model)", cpu_gops, 0, 55, "14nm", 3.0},
+            {"GPU [30] (model)", gpu_ops / gpu_sec * 1e-9, 754, 98,
+             "12nm", 1.35},
+        },
+        cpu_gops);
+    std::printf("Paper row: 4.2 / 3.1 / 1.2 / 0.4 GOPS; speedups 3.5x "
+                "/ 2.6x / 1x / 0.3x; EDP 6.0 / 7.1 / 38k / 1M.\n\n");
+
+    // ----- Large suite: DPU-v2 (L) 4 cores vs SPU vs CPUs vs GPU.
+    constexpr int batchCores = 4;
+    double l_ops = 0, l_sec = 0, l_pj = 0;
+    double spu_ops = 0, spu_sec = 0, cspu_ops = 0, cspu_sec = 0;
+    double lcpu_ops = 0, lcpu_sec = 0, lgpu_ops = 0, lgpu_sec = 0;
+    for (const auto &spec : largePcSuite()) {
+        Dag raw = buildWorkloadDag(spec, large_scale);
+        CompileOptions opt;
+        opt.partitionNodes = 20000;
+        auto run = bench::runWorkload(raw, largeConfig(), opt);
+        l_ops += batchCores * double(run.program.stats.numOperations);
+        l_sec += run.energy.seconds();
+        l_pj += batchCores * run.energy.totalPj;
+        Dag d = binarize(raw).dag;
+        double ops = double(d.numOperations());
+        spu_ops += ops;
+        spu_sec += runSpuModel(d).seconds;
+        cspu_ops += ops;
+        cspu_sec += runCpuSpuModel(d).seconds;
+        lcpu_ops += ops;
+        lcpu_sec += runCpuModel(d).seconds;
+        lgpu_ops += ops;
+        lgpu_sec += runGpuModel(d).seconds;
+    }
+    double cspu_gops = cspu_ops / cspu_sec * 1e-9;
+    double l_area = batchCores *
+        areaOf(largeConfig(), 64 * 1024,
+               double(largeConfig().dataMemRows) * 64 * 4).total;
+    std::printf("Large PC (c) workloads:\n");
+    printPlatforms(
+        {
+            {"DPU-v2 (L, 4 cores)", l_ops / l_sec * 1e-9, l_area,
+             batchCores * l_pj * 1e-12 / (batchCores * l_sec), "28nm",
+             0.3},
+            {"SPU [11] (estimate)", spu_ops / spu_sec * 1e-9, 36.6, 16,
+             "28nm", 0},
+            {"CPU_SPU [11] (model)", cspu_gops, 0, 61, "14nm", 3.0},
+            {"CPU [44] (model)", lcpu_ops / lcpu_sec * 1e-9, 0, 65,
+             "14nm", 3.0},
+            {"GPU (model)", lgpu_ops / lgpu_sec * 1e-9, 754, 155,
+             "12nm", 1.35},
+        },
+        cspu_gops);
+    std::printf("Paper row: 34.6 / 22.2 / 1.7 / 1.8 / 4.6 GOPS; "
+                "speedups 20.7x / 13.3x / 1x / 1.1x / 2.8x; EDP 1.0 / "
+                "57.4 / 36k / 27k / 9k.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mini design-space exploration (paper §V): evaluate a handful of
+ * (D, B, R) instances on one workload and print the latency / energy
+ * / EDP trade-off — the workflow behind fig. 11, at example scale.
+ *
+ *     ./build/examples/design_space
+ */
+
+#include <cstdio>
+
+#include "model/dse.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace dpu;
+
+    std::vector<WorkloadSpec> workload{findWorkload("mnist")};
+
+    TablePrinter t({"design", "latency/op (ns)", "energy/op (pJ)",
+                    "EDP (pJ*ns)", "area (mm2)"});
+    std::vector<DsePoint> points;
+    for (uint32_t depth : {1u, 3u})
+        for (uint32_t banks : {8u, 64u})
+            for (uint32_t regs : {16u, 64u}) {
+                ArchConfig cfg;
+                cfg.depth = depth;
+                cfg.banks = banks;
+                cfg.regsPerBank = regs;
+                DsePoint p = evaluateDesign(cfg, workload, 0.5, 1);
+                points.push_back(p);
+                t.row()
+                    .cell(cfg.label())
+                    .num(p.latencyPerOpNs, 3)
+                    .num(p.energyPerOpPj, 1)
+                    .num(p.edpPjNs, 1)
+                    .num(p.areaMm2, 2);
+            }
+    t.print();
+
+    const DsePoint &best = points[minEdpIndex(points)];
+    std::printf("\nbest EDP here: %s — deeper trees and more banks "
+                "buy latency; small register files stay efficient "
+                "until spilling bites (run bench/fig11_dse for the "
+                "full 48-point sweep).\n",
+                best.cfg.label().c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sparse triangular solve on DPU-v2 (paper §I, §V-A): lower a sparse
+ * lower-triangular system to a DAG, compile once for the static
+ * sparsity pattern, then solve for several right-hand sides — the
+ * robotics/communications use case where the pattern is fixed and b
+ * changes every iteration.
+ *
+ *     ./build/examples/sptrsv_solve [dim]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "compiler/compiler.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dpu;
+
+    LowerTriangularParams mp;
+    mp.dim = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 1024;
+    mp.depthLevels = mp.dim / 16;
+    mp.avgOffDiagonal = 4.0;
+    mp.seed = 11;
+    SparseMatrixCsr lower = makeLowerTriangular(mp);
+    std::printf("L: %u x %u, %zu nonzeros, dependency depth %zu\n",
+                lower.dim(), lower.dim(), lower.nnz(),
+                lower.dependencyDepth());
+
+    // Lower to a DAG (x_i = b'_i + sum c_ij * x_j) and compile once.
+    SpTrsvDag lowered = buildSpTrsvDag(lower);
+    CompiledProgram program = compile(lowered.dag, minEdpConfig());
+    std::printf("DAG: %zu operations -> %llu cycles/solve\n",
+                lowered.dag.numOperations(),
+                static_cast<unsigned long long>(program.stats.cycles));
+
+    Machine machine(program);
+    Rng rng(3);
+    for (int solve = 0; solve < 3; ++solve) {
+        std::vector<double> b(lower.dim());
+        for (double &x : b)
+            x = rng.uniform() * 2 - 1;
+
+        // Map (L, b) onto the DAG inputs and run.
+        SimResult res = machine.run(sptrsvInputValues(lowered, lower, b));
+
+        // Pull x back out and verify against forward substitution.
+        // (The machine result vector is ordered like program.outputs;
+        // evaluate() ordering is easier to index, so re-run the
+        // golden solver for the check.)
+        auto x_ref = solveLowerTriangular(lower, b);
+        double max_rel = 0;
+        for (size_t k = 0; k < program.outputs.size(); ++k) {
+            // Find which row this output node solves.
+            NodeId node = program.outputs[k].node;
+            for (uint32_t r = 0; r < lower.dim(); ++r) {
+                if (lowered.solution[r] == node) {
+                    double rel = std::abs(res.outputs[k] - x_ref[r]) /
+                                 (1e-12 + std::abs(x_ref[r]));
+                    max_rel = std::max(max_rel, rel);
+                }
+            }
+        }
+        std::printf("solve %d: max relative error vs forward "
+                    "substitution = %.2e\n",
+                    solve, max_rel);
+    }
+    return 0;
+}

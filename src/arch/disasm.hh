@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Disassembler for DPU-v2 programs.
+ *
+ * Renders decoded instructions (or whole programs) as readable text —
+ * the debugging companion to isa.hh's binary encoder. The format is
+ * stable and covered by tests, so tools may parse it, but its primary
+ * audience is humans staring at compiler output.
+ */
+
+#ifndef DPU_ARCH_DISASM_HH
+#define DPU_ARCH_DISASM_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/isa.hh"
+
+namespace dpu {
+
+/** One instruction as text, e.g.
+ *  "exec t0[mul(add p0 p1) ...] rd b3@7! wr b1<-pe2". */
+std::string disassemble(const ArchConfig &cfg, const Instruction &instr);
+
+/** Whole program with cycle numbers and a kind summary. */
+void disassembleProgram(const ArchConfig &cfg,
+                        const std::vector<Instruction> &program,
+                        std::ostream &out);
+
+} // namespace dpu
+
+#endif // DPU_ARCH_DISASM_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The DPU-v2 variable-length VLIW instruction set (paper §III-E, fig. 7).
+ *
+ * Six instruction kinds. Lengths depend on (D, B, R); instructions are
+ * packed densely in instruction memory with no padding, and the fetch
+ * unit shifts/aligns them (fig. 7(b)) — execution is stall-free at one
+ * instruction per cycle, so *cycles = instruction count* and program
+ * size in bits = sum of instruction lengths.
+ *
+ * Register-write addressing is automatic (paper §III-B): no write
+ * addresses appear in any instruction. Register reads are freed by
+ * per-bank `valid_rst` bits on their last read. Stores always free the
+ * registers they read (the compiler schedules a store as the final
+ * access of a value), which keeps the store encoding at the paper's
+ * length.
+ */
+
+#ifndef DPU_ARCH_ISA_HH
+#define DPU_ARCH_ISA_HH
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace dpu {
+
+/** Operation a PE performs during one exec (4-bit field). */
+enum class PeOp : uint8_t {
+    Nop = 0,   ///< Output undefined / unused.
+    Add = 1,   ///< left + right.
+    Mul = 2,   ///< left * right.
+    PassA = 3, ///< Forward the left input.
+    PassB = 4, ///< Forward the right input.
+};
+
+/** No-operation (fills unresolvable pipeline hazards). */
+struct NopInstr
+{
+    bool operator==(const NopInstr &) const = default;
+};
+
+/**
+ * Vector load: data-memory row -> register banks. Word i of the row
+ * goes to bank i (word-enable mask selects lanes); each bank writes it
+ * at an automatically generated address.
+ */
+struct LoadInstr
+{
+    uint32_t memRow = 0;
+    std::vector<bool> enable; ///< size B.
+
+    bool operator==(const LoadInstr &) const = default;
+};
+
+/**
+ * Vector store: register banks -> data-memory row. Each enabled bank
+ * reads its own address; the word lands in column = bank index. Reads
+ * free their register (see file header).
+ */
+struct StoreInstr
+{
+    uint32_t memRow = 0;
+    std::vector<bool> enable;    ///< size B.
+    std::vector<uint16_t> readAddr; ///< size B (don't-care if disabled).
+
+    bool operator==(const StoreInstr &) const = default;
+};
+
+/**
+ * Narrow store of up to four words (cheaper encoding, 16-bit row
+ * address). Slot columns are the source bank indices.
+ */
+struct Store4Instr
+{
+    struct Slot
+    {
+        bool active = false;
+        uint16_t bank = 0;
+        uint16_t addr = 0;
+
+        bool operator==(const Slot &) const = default;
+    };
+    uint32_t memRow = 0;
+    Slot slots[4];
+
+    bool operator==(const Store4Instr &) const = default;
+};
+
+/**
+ * Copy of up to four words between banks through the input crossbar
+ * (fig. 5(c)) — the compiler's tool for resolving bank conflicts.
+ * Destination addresses are automatic; `validRst[b]` frees the source
+ * register in bank b if this was its last read.
+ */
+struct Copy4Instr
+{
+    struct Slot
+    {
+        bool active = false;
+        uint16_t srcBank = 0;
+        uint16_t srcAddr = 0;
+        uint16_t dstBank = 0;
+
+        bool operator==(const Slot &) const = default;
+    };
+    Slot slots[4];
+    std::vector<bool> validRst; ///< size B.
+
+    bool operator==(const Copy4Instr &) const = default;
+};
+
+/**
+ * Execute one block on the PE trees: per-PE opcodes, per-port crossbar
+ * selects, per-bank read addresses, per-bank output-mux selects and
+ * write enables, per-bank valid_rst.
+ */
+struct ExecInstr
+{
+    std::vector<PeOp> peOp;        ///< size numPes.
+    std::vector<uint16_t> inputSel; ///< size B: source bank per port.
+    std::vector<uint16_t> readAddr; ///< size B.
+    std::vector<bool> validRst;     ///< size B.
+    std::vector<bool> writeEnable;  ///< size B.
+    std::vector<uint16_t> outputSel;///< size B: writer mux select.
+
+    bool operator==(const ExecInstr &) const = default;
+};
+
+using Instruction = std::variant<NopInstr, LoadInstr, StoreInstr,
+                                 Store4Instr, Copy4Instr, ExecInstr>;
+
+/** Instruction kind tags (opcode values; also fig. 13 categories). */
+enum class InstrKind : uint8_t {
+    Nop = 0,
+    Load = 1,
+    Store = 2,
+    Store4 = 3,
+    Copy4 = 4,
+    Exec = 5,
+};
+
+/** Kind of a decoded instruction. */
+InstrKind kindOf(const Instruction &instr);
+
+/** Printable kind name. */
+const char *kindName(InstrKind kind);
+
+/** Bit widths of all ISA fields for a configuration. */
+struct IsaLayout
+{
+    explicit IsaLayout(const ArchConfig &cfg);
+
+    uint32_t opcodeBits;   ///< 4.
+    uint32_t bankBits;     ///< ceil(log2 B).
+    uint32_t addrBits;     ///< ceil(log2 R).
+    uint32_t memRowBits;   ///< 32 (wide) / 16 (short form).
+    uint32_t peOpBits;     ///< 4.
+    uint32_t outputSelBits;///< ceil(log2 maxWritersPerBank).
+    uint32_t banks;
+    uint32_t numPes;
+
+    /** Encoded length in bits of each instruction kind. */
+    uint32_t lengthBits(InstrKind kind) const;
+
+    /** Length of a concrete instruction. */
+    uint32_t lengthBits(const Instruction &instr) const;
+
+    /** IL: fetch width = longest instruction (the exec). */
+    uint32_t maxLengthBits() const;
+};
+
+/**
+ * Encode instructions into a densely packed bit stream (fig. 7(b)).
+ * @return the packed program image.
+ */
+std::vector<uint8_t> encodeProgram(const ArchConfig &cfg,
+                                   const std::vector<Instruction> &prog);
+
+/** Decode a packed bit stream back into instructions. */
+std::vector<Instruction> decodeProgram(const ArchConfig &cfg,
+                                       const std::vector<uint8_t> &image,
+                                       size_t instruction_count);
+
+/** Total encoded size in bits (the program footprint of §IV-E). */
+uint64_t programSizeBits(const ArchConfig &cfg,
+                         const std::vector<Instruction> &prog);
+
+} // namespace dpu
+
+#endif // DPU_ARCH_ISA_HH

@@ -1,0 +1,462 @@
+#include "compiler/blocks.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "dag/algorithms.hh"
+#include "support/rng.hh"
+
+namespace dpu {
+
+namespace {
+
+/** A free subtree slot of the buddy allocator. */
+struct FreeSlot
+{
+    uint32_t tree;
+    uint32_t index;
+};
+
+/**
+ * Step-1 engine. Maintains, incrementally:
+ *  - h[v]: length of the longest chain of unmapped ancestors ending at
+ *    v (capped at D+1 = unschedulable). A node is a schedulable sink
+ *    iff h[v] <= D.
+ *  - per-depth candidate buckets ordered by DFS preorder position.
+ */
+class BlockBuilder
+{
+  public:
+    BlockBuilder(const Dag &dag, const ArchConfig &cfg, uint64_t seed,
+                 const std::vector<std::pair<NodeId, NodeId>> &parts)
+        : dag(dag), cfg(cfg), rng(seed), partitions(parts),
+          dfsPos(dfsPreorderPositions(dag)),
+          mapped(dag.numNodes(), false),
+          h(dag.numNodes(), 0),
+          stamp(dag.numNodes(), 0),
+          coneStamp(dag.numNodes(), 0),
+          buckets(cfg.depth + 1)
+    {
+        if (partitions.empty())
+            partitions.push_back(
+                {0, static_cast<NodeId>(dag.numNodes())});
+    }
+
+    BlockDecomposition
+    run()
+    {
+        initHeights();
+        BlockDecomposition dec;
+        dec.blockOf.assign(dag.numNodes(), BlockDecomposition::noBlock);
+
+        for (const auto &range : partitions) {
+            rangeLo = range.first;
+            rangeHi = range.second;
+            size_t remaining = populateRange();
+            while (remaining) {
+                Block block = buildOneBlock();
+                dpu_assert(!block.subgraphs.empty(),
+                           "empty block with nodes remaining");
+                commitBlock(block, dec);
+                for (const Subgraph &sg : block.subgraphs)
+                    remaining -= sg.nodes.size();
+                unrollBlock(block);
+                dec.blocks.push_back(std::move(block));
+            }
+        }
+        finalizeIoMarks(dec);
+        return dec;
+    }
+
+  private:
+    static constexpr uint32_t probeLimit = 8;
+
+    void
+    initHeights()
+    {
+        const uint32_t cap = cfg.depth + 1;
+        for (NodeId v = 0; v < dag.numNodes(); ++v) {
+            const Node &n = dag.node(v);
+            if (n.isInput()) {
+                mapped[v] = true; // inputs live in registers, not PEs
+                continue;
+            }
+            uint32_t best = 0;
+            for (NodeId o : n.operands)
+                if (!mapped[o])
+                    best = std::max(best, h[o]);
+            h[v] = std::min(best + 1, cap);
+        }
+    }
+
+    bool
+    inRange(NodeId v) const
+    {
+        return v >= rangeLo && v < rangeHi;
+    }
+
+    /** Insert the current partition's candidates; count its nodes. */
+    size_t
+    populateRange()
+    {
+        size_t remaining = 0;
+        for (NodeId v = rangeLo; v < rangeHi; ++v) {
+            if (dag.node(v).isInput())
+                continue;
+            dpu_assert(!mapped[v], "partition node already mapped");
+            ++remaining;
+            if (h[v] <= cfg.depth)
+                buckets[h[v]].insert({dfsPos[v], v});
+        }
+        return remaining;
+    }
+
+    uint32_t
+    recomputeHeight(NodeId v) const
+    {
+        uint32_t best = 0;
+        for (NodeId o : dag.node(v).operands)
+            if (!mapped[o])
+                best = std::max(best, h[o]);
+        return std::min(best + 1, cfg.depth + 1);
+    }
+
+    /** Gather the cone of `sink`; fail if it overlaps epoch-stamped
+     *  nodes (i.e. nodes already picked for the current block). */
+    bool
+    materializeCone(NodeId sink, uint64_t epoch, std::vector<NodeId> &cone)
+    {
+        cone.clear();
+        dfsStack.clear();
+        dfsStack.push_back(sink);
+        uint64_t visit_epoch = ++visitCounter;
+        while (!dfsStack.empty()) {
+            NodeId v = dfsStack.back();
+            dfsStack.pop_back();
+            if (coneStamp[v] == visit_epoch)
+                continue;
+            coneStamp[v] = visit_epoch;
+            if (stamp[v] == epoch)
+                return false; // overlaps a cone already in this block
+            cone.push_back(v);
+            for (NodeId o : dag.node(v).operands)
+                if (!mapped[o])
+                    dfsStack.push_back(o);
+        }
+        return true;
+    }
+
+    /**
+     * Pick the best schedulable candidate: deepest depth first
+     * (objective C — deeper cones hold more nodes), nearest to the
+     * anchor in DFS order within a depth (objective D). Returns
+     * invalidNode if nothing fits `dcap`.
+     */
+    NodeId
+    pickCandidate(uint32_t dcap, uint32_t anchor, uint64_t epoch,
+                  std::vector<NodeId> &cone, uint32_t &depth)
+    {
+        for (uint32_t d = std::min(cfg.depth, dcap); d >= 1; --d) {
+            auto &bucket = buckets[d];
+            if (bucket.empty())
+                continue;
+            auto fwd = bucket.lower_bound({anchor, 0});
+            auto bwd = fwd;
+            for (uint32_t probes = 0;
+                 probes < probeLimit &&
+                 (fwd != bucket.end() || bwd != bucket.begin());
+                 ++probes) {
+                // Take the nearer of the next forward/backward entry.
+                bool take_fwd;
+                if (fwd == bucket.end())
+                    take_fwd = false;
+                else if (bwd == bucket.begin())
+                    take_fwd = true;
+                else {
+                    uint32_t df = fwd->first - anchor;
+                    uint32_t db = anchor - std::prev(bwd)->first;
+                    take_fwd = df <= db;
+                }
+                NodeId v;
+                if (take_fwd) {
+                    v = fwd->second;
+                    ++fwd;
+                } else {
+                    --bwd;
+                    v = bwd->second;
+                }
+                dpu_assert(!mapped[v] && h[v] == d, "stale bucket entry");
+                if (materializeCone(v, epoch, cone)) {
+                    depth = d;
+                    return v;
+                }
+            }
+        }
+        return invalidNode;
+    }
+
+    /** Build one block: pick cones and pack them into buddy slots. */
+    Block
+    buildOneBlock()
+    {
+        Block block;
+        ++blockEpoch;
+
+        // Buddy slot pool: one full-depth slot per tree.
+        std::vector<std::vector<FreeSlot>> free(cfg.depth + 1);
+        for (uint32_t t = 0; t < cfg.trees(); ++t)
+            free[cfg.depth].push_back({t, 0});
+
+        std::vector<NodeId> cone;
+        for (;;) {
+            uint32_t dcap = 0;
+            for (uint32_t d = cfg.depth; d >= 1; --d) {
+                if (!free[d].empty()) {
+                    dcap = d;
+                    break;
+                }
+            }
+            if (dcap == 0)
+                break; // datapath full
+
+            uint32_t depth = 0;
+            NodeId sink = pickCandidate(dcap, anchor, blockEpoch, cone,
+                                        depth);
+            if (sink == invalidNode)
+                break; // nothing schedulable fits the leftover slots
+
+            // Best-fit slot: smallest free depth >= cone depth, split
+            // down buddy-style (this is what yields fig. 9(d)'s depth
+            // combinations).
+            uint32_t at = depth;
+            while (free[at].empty())
+                ++at;
+            FreeSlot slot = free[at].back();
+            free[at].pop_back();
+            while (at > depth) {
+                --at;
+                free[at].push_back({slot.tree, slot.index * 2 + 1});
+                slot.index = slot.index * 2;
+            }
+
+            Subgraph sg;
+            sg.sink = sink;
+            sg.nodes = cone;
+            sg.depth = depth;
+            sg.tree = slot.tree;
+            sg.rootLayer = depth;
+            sg.rootIndex = slot.index;
+            for (NodeId v : cone)
+                stamp[v] = blockEpoch;
+            block.subgraphs.push_back(std::move(sg));
+            anchor = dfsPos[sink];
+        }
+        return block;
+    }
+
+    /** Mark the block's nodes mapped and ripple height updates. */
+    void
+    commitBlock(const Block &block, BlockDecomposition &dec)
+    {
+        uint32_t block_id = static_cast<uint32_t>(dec.blocks.size());
+        std::vector<NodeId> worklist;
+        for (const Subgraph &sg : block.subgraphs) {
+            for (NodeId v : sg.nodes) {
+                dpu_assert(!mapped[v], "node mapped twice");
+                mapped[v] = true;
+                dec.blockOf[v] = block_id;
+                if (h[v] <= cfg.depth && inRange(v))
+                    buckets[h[v]].erase({dfsPos[v], v});
+                for (NodeId s : dag.successors(v))
+                    if (!mapped[s])
+                        worklist.push_back(s);
+            }
+        }
+        // Heights only decrease; each node settles after <= D+1 drops.
+        while (!worklist.empty()) {
+            NodeId v = worklist.back();
+            worklist.pop_back();
+            if (mapped[v])
+                continue;
+            uint32_t nh = recomputeHeight(v);
+            if (nh == h[v])
+                continue;
+            if (h[v] <= cfg.depth && inRange(v))
+                buckets[h[v]].erase({dfsPos[v], v});
+            h[v] = nh;
+            if (h[v] <= cfg.depth && inRange(v))
+                buckets[h[v]].insert({dfsPos[v], v});
+            for (NodeId s : dag.successors(v))
+                if (!mapped[s])
+                    worklist.push_back(s);
+        }
+    }
+
+    /** True if `v` belongs to the cone currently being unrolled. */
+    bool
+    inCone(NodeId v) const
+    {
+        return coneStamp[v] == visitCounter;
+    }
+
+    /** Thread a register value up through pass-through PEs. */
+    void
+    passDown(Block &block, PeCoord at, NodeId value)
+    {
+        uint32_t pe = cfg.peId(at);
+        dpu_assert(block.peOps[pe] == PeOp::Nop, "PE double-booked");
+        block.peOps[pe] = PeOp::PassA;
+        if (at.layer == 1) {
+            block.reads.push_back(
+                {cfg.portBank(at.tree, at.index * 2), value});
+            return;
+        }
+        passDown(block, {at.tree, at.layer - 1, at.index * 2}, value);
+    }
+
+    /** Recursively place a cone node (replicating shared nodes). */
+    void
+    placeNode(Block &block, NodeId v, PeCoord at)
+    {
+        uint32_t pe = cfg.peId(at);
+        dpu_assert(block.peOps[pe] == PeOp::Nop, "PE double-booked");
+        const Node &n = dag.node(v);
+        block.peOps[pe] = n.op == OpType::Add ? PeOp::Add : PeOp::Mul;
+        block.placements[v].push_back(pe);
+        dpu_assert(n.operands.size() == 2, "DAG must be binarized");
+        if (at.layer == 1) {
+            for (uint32_t i = 0; i < 2; ++i) {
+                NodeId o = n.operands[i];
+                dpu_assert(!inCone(o), "cone node below layer 1");
+                block.reads.push_back(
+                    {cfg.portBank(at.tree, at.index * 2 + i), o});
+            }
+            return;
+        }
+        for (uint32_t i = 0; i < 2; ++i) {
+            NodeId o = n.operands[i];
+            PeCoord child{at.tree, at.layer - 1, at.index * 2 + i};
+            if (inCone(o))
+                placeNode(block, o, child);
+            else
+                passDown(block, child, o);
+        }
+    }
+
+    /** Fill peOps / reads / placements for a finished block. */
+    void
+    unrollBlock(Block &block)
+    {
+        block.peOps.assign(cfg.numPes(), PeOp::Nop);
+        for (const Subgraph &sg : block.subgraphs) {
+            // Re-stamp the cone so inCone() answers for this subgraph.
+            ++visitCounter;
+            for (NodeId v : sg.nodes)
+                coneStamp[v] = visitCounter;
+            placeNode(block, sg.sink,
+                      {sg.tree, sg.rootLayer, sg.rootIndex});
+        }
+        // Distinct input values.
+        std::set<NodeId> ins;
+        for (const PortRead &r : block.reads)
+            ins.insert(r.value);
+        block.inputs.assign(ins.begin(), ins.end());
+    }
+
+    /** Mark io values: DAG inputs plus block outputs. */
+    void
+    finalizeIoMarks(BlockDecomposition &dec)
+    {
+        dec.isIo.assign(dag.numNodes(), false);
+        for (NodeId v = 0; v < dag.numNodes(); ++v) {
+            if (dag.node(v).isInput()) {
+                dec.isIo[v] = true;
+                continue;
+            }
+            uint32_t b = dec.blockOf[v];
+            bool out = dag.successors(v).empty(); // DAG result
+            for (NodeId s : dag.successors(v))
+                if (dec.blockOf[s] != b)
+                    out = true;
+            if (out) {
+                dec.isIo[v] = true;
+                dec.blocks[b].outputs.push_back(v);
+            }
+        }
+    }
+
+    const Dag &dag;
+    const ArchConfig &cfg;
+    Rng rng;
+    std::vector<std::pair<NodeId, NodeId>> partitions;
+    NodeId rangeLo = 0;
+    NodeId rangeHi = 0;
+    std::vector<uint32_t> dfsPos;
+    std::vector<bool> mapped;
+    std::vector<uint32_t> h;
+    std::vector<uint64_t> stamp;     ///< block-epoch pick marks
+    std::vector<uint64_t> coneStamp; ///< cone-DFS visit marks
+    std::vector<std::set<std::pair<uint32_t, NodeId>>> buckets;
+    std::vector<NodeId> dfsStack;
+    uint64_t blockEpoch = 0;
+    uint64_t visitCounter = 0;
+    uint32_t anchor = 0;
+};
+
+} // namespace
+
+BlockDecomposition
+decomposeIntoBlocks(const Dag &dag, const ArchConfig &cfg, uint64_t seed,
+                    const std::vector<std::pair<NodeId, NodeId>> &parts)
+{
+    cfg.check();
+    dpu_assert(dag.isBinary(), "decompose needs a binarized DAG");
+    return BlockBuilder(dag, cfg, seed, parts).run();
+}
+
+void
+validateDecomposition(const Dag &dag, const ArchConfig &cfg,
+                      const BlockDecomposition &dec)
+{
+    // Every compute node appears in exactly one block.
+    std::vector<uint32_t> seen(dag.numNodes(), 0);
+    for (const Block &b : dec.blocks)
+        for (const Subgraph &sg : b.subgraphs) {
+            dpu_assert(sg.depth >= 1 && sg.depth <= cfg.depth,
+                       "subgraph depth out of range");
+            for (NodeId v : sg.nodes)
+                ++seen[v];
+        }
+    for (NodeId v = 0; v < dag.numNodes(); ++v) {
+        if (dag.node(v).isInput())
+            dpu_assert(seen[v] == 0, "input node inside a block");
+        else
+            dpu_assert(seen[v] == 1, "compute node not covered once");
+    }
+
+    // Operand blocks strictly precede consumer blocks (constraint A),
+    // unless operand and consumer share a block (tree edge).
+    for (uint32_t bi = 0; bi < dec.blocks.size(); ++bi) {
+        for (const Subgraph &sg : dec.blocks[bi].subgraphs)
+            for (NodeId v : sg.nodes)
+                for (NodeId o : dag.node(v).operands) {
+                    if (dag.node(o).isInput())
+                        continue;
+                    dpu_assert(dec.blockOf[o] <= bi,
+                               "operand in a later block");
+                }
+    }
+
+    // Port reads: at most one value per port; ports exist.
+    for (const Block &b : dec.blocks) {
+        std::vector<bool> used(cfg.banks, false);
+        for (const PortRead &r : b.reads) {
+            dpu_assert(r.port < cfg.banks, "bad port");
+            dpu_assert(!used[r.port], "port double-read");
+            used[r.port] = true;
+        }
+        dpu_assert(b.peOps.size() == cfg.numPes(), "bad peOps size");
+    }
+}
+
+} // namespace dpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Compilation step 1: block decomposition (paper §IV-A, algorithm 1).
+ *
+ * The binarized DAG is decomposed into *blocks*, each executable by a
+ * single exec instruction. A block consists of tree-shaped subgraphs
+ * (a sink node plus all of its not-yet-mapped ancestors) packed into
+ * disjoint subtree *slots* of the T PE trees — slot allocation is a
+ * buddy system over subtrees (fig. 9(d)'s depth combinations arise
+ * naturally from recursive slot splitting).
+ *
+ * A subgraph is schedulable iff the longest chain of unmapped
+ * ancestors ending at its sink has length <= D (fig. 9(c): non-tree
+ * cones are handled by node replication when unrolled). Candidate
+ * sinks are kept in per-depth buckets ordered by DFS preorder
+ * position; picking the candidate nearest the block's anchor
+ * implements the paper's DFS-distance fitness (objective D), and
+ * preferring the deepest schedulable candidate implements "more nodes
+ * is more fit" (objective C).
+ */
+
+#ifndef DPU_COMPILER_BLOCKS_HH
+#define DPU_COMPILER_BLOCKS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/isa.hh"
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** One tree-shaped subgraph mapped to a subtree slot. */
+struct Subgraph
+{
+    NodeId sink = invalidNode;
+    std::vector<NodeId> nodes; ///< The cone (sink + unmapped ancestors).
+    uint32_t depth = 0;        ///< Levels of the cone (1..D).
+    uint32_t tree = 0;         ///< Slot: tree index.
+    uint32_t rootLayer = 0;    ///< Slot: layer of the slot root PE.
+    uint32_t rootIndex = 0;    ///< Slot: index of the slot root PE.
+};
+
+/** One register read of an exec: tree input port <- value. */
+struct PortRead
+{
+    uint32_t port;  ///< Global port id (== the aligned bank id).
+    NodeId value;   ///< Value consumed (block input or DAG input).
+};
+
+/** A block: everything one exec instruction does. */
+struct Block
+{
+    std::vector<Subgraph> subgraphs;
+
+    /** Per-PE opcode after unrolling (size = numPes). */
+    std::vector<PeOp> peOps;
+
+    /** Register reads, at most one per port. */
+    std::vector<PortRead> reads;
+
+    /** PE placements of each block node (replicas => several PEs). */
+    std::unordered_map<NodeId, std::vector<uint32_t>> placements;
+
+    /** Distinct values read (block inputs). */
+    std::vector<NodeId> inputs;
+
+    /** Nodes whose value must be written to the register file. */
+    std::vector<NodeId> outputs;
+};
+
+/** Result of step 1. */
+struct BlockDecomposition
+{
+    std::vector<Block> blocks;
+
+    /** Block index of every compute node (inputs: invalid). */
+    std::vector<uint32_t> blockOf;
+
+    /** True for values that live in the register file (DAG inputs and
+     *  block outputs) — the io_nodes of algorithm 2. */
+    std::vector<bool> isIo;
+
+    static constexpr uint32_t noBlock = static_cast<uint32_t>(-1);
+};
+
+/**
+ * Run step 1.
+ *
+ * @param dag Binarized DAG (every compute node has 2 operands).
+ * @param cfg Architecture configuration (D and T are used).
+ * @param seed Seed for tie-breaking randomness.
+ * @param partitions Optional coarse partitioning (contiguous id
+ *        ranges, see partitioner.hh); blocks are formed partition by
+ *        partition. Empty = treat the whole DAG as one partition.
+ */
+BlockDecomposition decomposeIntoBlocks(
+    const Dag &dag, const ArchConfig &cfg, uint64_t seed = 1,
+    const std::vector<std::pair<NodeId, NodeId>> &partitions = {});
+
+/** Sanity checks: coverage, acyclicity, schedulability (for tests). */
+void validateDecomposition(const Dag &dag, const ArchConfig &cfg,
+                           const BlockDecomposition &dec);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_BLOCKS_HH

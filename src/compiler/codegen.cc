@@ -1,0 +1,322 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/rng.hh"
+
+namespace dpu {
+
+namespace {
+
+class CodeGen
+{
+  public:
+    CodeGen(const Dag &dag, const ArchConfig &cfg,
+            const BlockDecomposition &dec, const BankAssignment &banks)
+        : dag(dag), cfg(cfg), dec(dec), banks(banks), rng(0xc0de)
+    {}
+
+    IrProgram
+    run()
+    {
+        countReads();
+        assignInputIndices();
+        for (uint32_t b = 0; b < dec.blocks.size(); ++b)
+            emitBlock(b);
+        emitFinalStores();
+        ir.inputRows = inputRows;
+        checkBalance();
+        return std::move(ir);
+    }
+
+  private:
+    /** remainingReads[v] = #reader blocks (+1 if stored at the end). */
+    void
+    countReads()
+    {
+        remainingReads.assign(dag.numNodes(), 0);
+        for (const Block &blk : dec.blocks)
+            for (NodeId v : blk.inputs)
+                ++remainingReads[v];
+        for (NodeId s : dag.sinks())
+            if (!dag.node(s).isInput())
+                ++remainingReads[s];
+    }
+
+    void
+    assignInputIndices()
+    {
+        inputIndexOf.assign(dag.numNodes(), invalidNode);
+        uint32_t k = 0;
+        for (NodeId v = 0; v < dag.numNodes(); ++v)
+            if (dag.node(v).isInput())
+                inputIndexOf[v] = k++;
+        ir.inputLocation.assign(k, {0, 0});
+        loaded.assign(dag.numNodes(), false);
+        instOf.assign(dag.numNodes(), invalidInstance);
+        rowCounter.assign(cfg.banks, 0);
+    }
+
+    InstanceId
+    newInstance(NodeId value, uint32_t bank, uint32_t pe)
+    {
+        ir.instances.push_back({value, bank, pe});
+        return static_cast<InstanceId>(ir.instances.size() - 1);
+    }
+
+    /** Emit loads for the block's not-yet-resident DAG inputs. */
+    void
+    emitLoads(const Block &blk)
+    {
+        // Gather the batch of inputs this block needs for the first
+        // time. Inputs that are consumed together should live in the
+        // same memory row so one vector load covers them all: align
+        // the whole batch (bank columns permitting) to the highest
+        // per-bank fill level, then advance those banks' levels.
+        std::vector<NodeId> batch;
+        for (NodeId v : blk.inputs) {
+            if (!dag.node(v).isInput() || loaded[v])
+                continue;
+            loaded[v] = true;
+            batch.push_back(v);
+        }
+        std::map<uint32_t, std::vector<NodeId>> by_row;
+        while (!batch.empty()) {
+            // One aligned row per round; duplicate banks spill into
+            // the next round.
+            uint64_t used = 0;
+            uint32_t row = 0;
+            std::vector<NodeId> round;
+            for (auto it = batch.begin(); it != batch.end();) {
+                uint32_t bank = banks.bankOf[*it];
+                if (used >> bank & 1) {
+                    ++it;
+                    continue;
+                }
+                used |= uint64_t(1) << bank;
+                row = std::max(row, rowCounter[bank]);
+                round.push_back(*it);
+                it = batch.erase(it);
+            }
+            for (NodeId v : round) {
+                uint32_t bank = banks.bankOf[v];
+                rowCounter[bank] = row + 1;
+                inputRows = std::max(inputRows, row + 1);
+                ir.inputLocation[inputIndexOf[v]] = {row, bank};
+                by_row[row].push_back(v);
+            }
+        }
+        for (auto &[row, values] : by_row) {
+            IrInstr load;
+            load.kind = InstrKind::Load;
+            load.memRow = row;
+            for (NodeId v : values) {
+                InstanceId id = newInstance(v, banks.bankOf[v],
+                                            BankAssignment::invalid);
+                instOf[v] = id;
+                load.writes.push_back({id});
+            }
+            ir.instrs.push_back(std::move(load));
+        }
+    }
+
+    /**
+     * Resolve read conflicts with copies; returns the per-value
+     * instance each read of this block should use.
+     */
+    std::map<NodeId, InstanceId>
+    emitConflictCopies(const Block &blk)
+    {
+        std::map<NodeId, InstanceId> use;
+        uint64_t used_banks = 0;
+        std::vector<NodeId> displaced;
+        // First pass: one value may keep each home bank.
+        std::map<uint32_t, NodeId> keeper;
+        for (NodeId v : blk.inputs) {
+            uint32_t bank = banks.bankOf[v];
+            auto [it, fresh] = keeper.try_emplace(bank, v);
+            if (fresh) {
+                use[v] = instOf[v];
+                used_banks |= uint64_t(1) << bank;
+            } else {
+                displaced.push_back(v);
+            }
+        }
+        if (displaced.empty())
+            return use;
+
+        ir.copyResolvedConflicts += displaced.size();
+
+        // Pick a fresh bank per displaced value and batch the copies
+        // into copy_4s with distinct source and destination banks.
+        struct PendingCopy
+        {
+            NodeId value;
+            uint32_t srcBank;
+            uint32_t dstBank;
+        };
+        std::vector<PendingCopy> pending;
+        for (NodeId v : displaced) {
+            uint64_t free = ~used_banks;
+            if (cfg.banks < 64)
+                free &= (uint64_t(1) << cfg.banks) - 1;
+            dpu_assert(free, "no free bank for conflict copy");
+            uint32_t n = static_cast<uint32_t>(__builtin_popcountll(free));
+            uint32_t k = static_cast<uint32_t>(rng.below(n));
+            uint32_t dst = 0;
+            for (uint32_t b = 0;; ++b) {
+                if ((free >> b) & 1) {
+                    if (k == 0) {
+                        dst = b;
+                        break;
+                    }
+                    --k;
+                }
+            }
+            used_banks |= uint64_t(1) << dst;
+            pending.push_back({v, banks.bankOf[v], dst});
+        }
+        while (!pending.empty()) {
+            IrInstr copy;
+            copy.kind = InstrKind::Copy4;
+            uint64_t src_used = 0, dst_used = 0;
+            for (auto it = pending.begin();
+                 it != pending.end() && copy.reads.size() < 4;) {
+                uint64_t sbit = uint64_t(1) << it->srcBank;
+                uint64_t dbit = uint64_t(1) << it->dstBank;
+                if ((src_used & sbit) || (dst_used & dbit)) {
+                    ++it;
+                    continue;
+                }
+                src_used |= sbit;
+                dst_used |= dbit;
+                NodeId v = it->value;
+                bool last = --remainingReads[v] == 0;
+                copy.reads.push_back({instOf[v], last});
+                InstanceId tmp = newInstance(v, it->dstBank,
+                                             BankAssignment::invalid);
+                copy.writes.push_back({tmp});
+                use[v] = tmp;
+                it = pending.erase(it);
+            }
+            dpu_assert(!copy.reads.empty(), "copy packing stuck");
+            ir.instrs.push_back(std::move(copy));
+        }
+        return use;
+    }
+
+    void
+    emitBlock(uint32_t block_id)
+    {
+        const Block &blk = dec.blocks[block_id];
+        emitLoads(blk);
+        auto use = emitConflictCopies(blk);
+
+        IrInstr exec;
+        exec.kind = InstrKind::Exec;
+        exec.blockId = block_id;
+        exec.inputSel.assign(cfg.banks, 0);
+        for (NodeId v : blk.inputs) {
+            InstanceId inst = use.at(v);
+            bool is_temp = inst != instOf[v];
+            bool last = is_temp ? true : (--remainingReads[v] == 0);
+            exec.reads.push_back({inst, last});
+        }
+        for (const PortRead &r : blk.reads)
+            exec.inputSel[r.port] =
+                static_cast<uint16_t>(ir.instances[use.at(r.value)].bank);
+        for (NodeId v : blk.outputs) {
+            InstanceId id = newInstance(v, banks.bankOf[v], banks.peOf[v]);
+            instOf[v] = id;
+            exec.writes.push_back({id});
+        }
+        ir.instrs.push_back(std::move(exec));
+    }
+
+    /** Store every DAG result to the output region of data memory. */
+    void
+    emitFinalStores()
+    {
+        std::vector<NodeId> compute_sinks;
+        for (NodeId s : dag.sinks()) {
+            if (dag.node(s).isInput()) {
+                // The result *is* an input. Input sinks have no
+                // consumers, so they were never lazily placed: give
+                // them a memory home now (no hardware work needed).
+                dpu_assert(!loaded[s], "input sink was loaded");
+                uint32_t bank = banks.bankOf[s];
+                uint32_t row = rowCounter[bank]++;
+                inputRows = std::max(inputRows, row + 1);
+                ir.inputLocation[inputIndexOf[s]] = {row, bank};
+                ir.outputs.push_back({s, row, bank});
+            } else {
+                compute_sinks.push_back(s);
+            }
+        }
+        uint32_t out_row = inputRows;
+        while (!compute_sinks.empty()) {
+            // One store per round; each bank contributes one value.
+            uint64_t used = 0;
+            std::vector<NodeId> batch;
+            for (auto it = compute_sinks.begin();
+                 it != compute_sinks.end();) {
+                uint32_t bank = banks.bankOf[*it];
+                if (used >> bank & 1) {
+                    ++it;
+                    continue;
+                }
+                used |= uint64_t(1) << bank;
+                batch.push_back(*it);
+                it = compute_sinks.erase(it);
+            }
+            IrInstr store;
+            store.kind = batch.size() <= 4 ? InstrKind::Store4
+                                           : InstrKind::Store;
+            store.memRow = out_row;
+            for (NodeId v : batch) {
+                bool last = --remainingReads[v] == 0;
+                dpu_assert(last, "store must be the final read");
+                store.reads.push_back({instOf[v], true});
+                ir.outputs.push_back({v, out_row, banks.bankOf[v]});
+            }
+            ir.instrs.push_back(std::move(store));
+            ++out_row;
+        }
+        ir.outputRows = out_row - inputRows;
+    }
+
+    /** Every counted read must have been emitted. */
+    void
+    checkBalance() const
+    {
+        for (NodeId v = 0; v < dag.numNodes(); ++v)
+            dpu_assert(remainingReads[v] == 0,
+                       "read accounting out of balance");
+    }
+
+    const Dag &dag;
+    const ArchConfig &cfg;
+    const BlockDecomposition &dec;
+    const BankAssignment &banks;
+    Rng rng;
+
+    IrProgram ir;
+    std::vector<uint32_t> remainingReads;
+    std::vector<uint32_t> inputIndexOf;
+    std::vector<bool> loaded;
+    std::vector<InstanceId> instOf;
+    std::vector<uint32_t> rowCounter;
+    uint32_t inputRows = 0;
+};
+
+} // namespace
+
+IrProgram
+generateIr(const Dag &dag, const ArchConfig &cfg,
+           const BlockDecomposition &dec, const BankAssignment &banks)
+{
+    return CodeGen(dag, cfg, dec, banks).run();
+}
+
+} // namespace dpu

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * IR code generation: blocks + bank assignment -> IR instruction list.
+ *
+ * Emits, per block: loads for not-yet-resident DAG inputs, copy_4
+ * instructions resolving read conflicts (block inputs sharing a home
+ * bank), and the exec itself; after the last block, stores of the
+ * DAG's results. Also fixes the data-memory layout of inputs (row =
+ * per-bank arrival order, column = home bank) and outputs.
+ */
+
+#ifndef DPU_COMPILER_CODEGEN_HH
+#define DPU_COMPILER_CODEGEN_HH
+
+#include "compiler/blocks.hh"
+#include "compiler/ir.hh"
+#include "compiler/mapper.hh"
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Generate the IR program (hazard-oblivious order; step 3 fixes it). */
+IrProgram generateIr(const Dag &dag, const ArchConfig &cfg,
+                     const BlockDecomposition &dec,
+                     const BankAssignment &banks);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_CODEGEN_HH

@@ -1,0 +1,107 @@
+#include "compiler/compiler.hh"
+
+#include <chrono>
+
+#include "compiler/blocks.hh"
+#include "compiler/codegen.hh"
+#include "compiler/finalize.hh"
+#include "compiler/partitioner.hh"
+#include "compiler/scheduler.hh"
+#include "dag/binarize.hh"
+
+namespace dpu {
+
+namespace {
+
+/**
+ * Program footprint if the automatic write policy (§III-B) did not
+ * exist: every instruction kind that writes registers would carry one
+ * explicit address field per bank lane (load, exec) or per slot
+ * (copy_4), and could drop the 1-bit valid_rst lanes in exchange —
+ * the paper's 30%-program-size claim is the gap between the two.
+ */
+uint64_t
+explicitWriteFootprintBits(const ArchConfig &cfg,
+                           const std::vector<Instruction> &instrs)
+{
+    IsaLayout lay(cfg);
+    uint64_t total = 0;
+    for (const Instruction &in : instrs) {
+        uint64_t bits = lay.lengthBits(in);
+        switch (kindOf(in)) {
+          case InstrKind::Load:
+            bits += uint64_t(cfg.banks) * lay.addrBits;
+            break;
+          case InstrKind::Exec:
+            bits += uint64_t(cfg.banks) * lay.addrBits;
+            bits -= cfg.banks; // valid_rst lanes no longer needed
+            break;
+          case InstrKind::Copy4:
+            bits += 4ull * lay.addrBits;
+            bits -= cfg.banks;
+            break;
+          default:
+            break;
+        }
+        total += bits;
+    }
+    return total;
+}
+
+} // namespace
+
+uint64_t
+csrFootprintBits(const Dag &dag)
+{
+    // Row-pointer per node (32b), column index per edge (32b), an
+    // operator tag per node (8b), and a 32-bit word per node value
+    // (inputs and intermediates both live in the global value array).
+    uint64_t n = dag.numOperations();
+    uint64_t bits = (n + 1) * 32 + dag.numEdges() * 32 + n * 8 +
+                    dag.numNodes() * 32;
+    return bits;
+}
+
+CompiledProgram
+compile(const Dag &input, const ArchConfig &cfg,
+        const CompileOptions &options)
+{
+    cfg.check();
+    auto t0 = std::chrono::steady_clock::now();
+
+    BinarizeResult bin = binarize(input);
+    const Dag &dag = bin.dag;
+
+    std::vector<std::pair<NodeId, NodeId>> parts;
+    if (options.partitionNodes)
+        parts = partitionByCount(dag, options.partitionNodes);
+
+    BlockDecomposition dec =
+        decomposeIntoBlocks(dag, cfg, options.seed, parts);
+    if (options.validate)
+        validateDecomposition(dag, cfg, dec);
+
+    BankAssignment banks =
+        assignBanks(dag, cfg, dec, options.bankPolicy, options.seed);
+
+    IrProgram ir = generateIr(dag, cfg, dec, banks);
+    reorderForPipeline(ir, cfg, options.reorderWindow);
+    if (options.validate)
+        checkHazardFree(ir, cfg);
+
+    CompiledProgram prog = finalizeProgram(std::move(ir), cfg, dec);
+
+    prog.stats.numOperations = dag.numOperations();
+    prog.stats.programBits = programSizeBits(cfg, prog.instructions);
+    prog.stats.programBitsExplicitWrites =
+        explicitWriteFootprintBits(cfg, prog.instructions);
+    prog.stats.csrBits = csrFootprintBits(dag);
+    prog.stats.dataBits = uint64_t(prog.numRows) * cfg.banks * 32;
+
+    auto t1 = std::chrono::steady_clock::now();
+    prog.stats.compileSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return prog;
+}
+
+} // namespace dpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The DPU-v2 compiler driver (paper §IV, fig. 8).
+ *
+ * Pipeline: binarize -> (optional coarse partitioning) ->
+ * step 1 block decomposition -> step 2 PE/bank mapping ->
+ * IR codegen -> step 3 pipeline-aware reordering ->
+ * step 4 spilling + address resolution -> executable program.
+ */
+
+#ifndef DPU_COMPILER_COMPILER_HH
+#define DPU_COMPILER_COMPILER_HH
+
+#include "arch/config.hh"
+#include "compiler/mapper.hh"
+#include "compiler/program.hh"
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Knobs of the compilation pipeline. */
+struct CompileOptions
+{
+    /** Step-2 policy (Random is the fig. 10(b) baseline). */
+    BankPolicy bankPolicy = BankPolicy::ConflictAware;
+
+    /** Step-3 look-ahead window (paper: 300). */
+    uint32_t reorderWindow = 300;
+
+    /** Coarse partition size in compute nodes; 0 = no partitioning.
+     *  The paper uses 20000 for the multi-million-node PCs. */
+    uint32_t partitionNodes = 0;
+
+    /** Seed driving every randomized tie-break. */
+    uint64_t seed = 1;
+
+    /** Run the expensive internal validations (tests set this). */
+    bool validate = false;
+};
+
+/**
+ * Compile a DAG for a DPU-v2 configuration.
+ *
+ * The input DAG may contain multi-input nodes; it is binarized first.
+ * Throws FatalError for impossible configurations (e.g. a register
+ * file too small to hold any schedule).
+ */
+CompiledProgram compile(const Dag &dag, const ArchConfig &cfg,
+                        const CompileOptions &options = {});
+
+/**
+ * Footprint of the conventional CSR-style representation of the same
+ * DAG (paper §IV-E): per-node pointers + per-edge indices + per-node
+ * operator tag + one 32-bit word per value.
+ */
+uint64_t csrFootprintBits(const Dag &binarized_dag);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_COMPILER_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Compilation step 4: register spilling and address resolution
+ * (paper §IV-D).
+ *
+ * Replays the scheduled IR in issue order while modelling every
+ * register bank's valid bits exactly as the hardware's priority
+ * encoder will see them (write addresses are reserved at issue; see
+ * DESIGN.md "Write-address reservation at issue"). When a bank
+ * overflows its R registers, the occupant with the furthest next use
+ * (Belady) is spilled with a store; spilled values are reloaded with
+ * a load + nop pair right before their next consumer. Produces the
+ * final, bit-exact instruction stream.
+ */
+
+#ifndef DPU_COMPILER_FINALIZE_HH
+#define DPU_COMPILER_FINALIZE_HH
+
+#include "compiler/blocks.hh"
+#include "compiler/ir.hh"
+#include "compiler/program.hh"
+
+namespace dpu {
+
+/**
+ * Run step 4 on a scheduled IR program.
+ *
+ * @param ir Scheduled IR (consumed).
+ * @param cfg Architecture configuration.
+ * @param dec Step-1 decomposition (peOps of each block).
+ * @return The executable program; stats fields covering steps 1-4 are
+ *         filled except workload-level ones (numOperations, csrBits,
+ *         compile time) which the driver adds.
+ */
+CompiledProgram finalizeProgram(IrProgram &&ir, const ArchConfig &cfg,
+                                const BlockDecomposition &dec);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_FINALIZE_HH

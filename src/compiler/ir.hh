@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Compiler intermediate representation.
+ *
+ * Between codegen and final address resolution, instructions refer to
+ * *register instances* instead of concrete addresses: an instance is
+ * one write of one value into one bank (the primary write of an io
+ * value, or a temporary copy made to resolve a read conflict).
+ * Because write addresses are generated automatically by the hardware
+ * (paper §III-B), concrete addresses exist only after the final
+ * instruction order is fixed; the resolution pass (finalize.cc)
+ * replays the program in issue order and patches them in.
+ */
+
+#ifndef DPU_COMPILER_IR_HH
+#define DPU_COMPILER_IR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/isa.hh"
+#include "dag/node.hh"
+
+namespace dpu {
+
+/** Id of a register instance. */
+using InstanceId = uint32_t;
+
+constexpr InstanceId invalidInstance = static_cast<InstanceId>(-1);
+
+/** One write of one value into one bank. */
+struct RegInstance
+{
+    NodeId value = invalidNode;
+    uint32_t bank = 0;
+    uint32_t writerPe = static_cast<uint32_t>(-1); ///< exec writes only.
+};
+
+/** A register read in the IR. */
+struct IrRead
+{
+    InstanceId inst = invalidInstance;
+    bool lastRead = false; ///< Sets valid_rst: frees the register.
+};
+
+/** A register write in the IR (address chosen at resolution time). */
+struct IrWrite
+{
+    InstanceId inst = invalidInstance;
+};
+
+/** One IR instruction. Field applicability follows `kind`. */
+struct IrInstr
+{
+    InstrKind kind = InstrKind::Nop;
+
+    /** load / store / store_4: data-memory row. */
+    uint32_t memRow = 0;
+
+    /** store/store_4/copy_4/exec: register reads (<= 1 per bank). */
+    std::vector<IrRead> reads;
+
+    /** load/copy_4/exec: register writes (<= 1 per bank). For copy_4,
+     *  writes[i] pairs with reads[i]. */
+    std::vector<IrWrite> writes;
+
+    /** exec only: source block (peOps live there). */
+    uint32_t blockId = static_cast<uint32_t>(-1);
+
+    /** exec only: crossbar select per input port (bank index). */
+    std::vector<uint16_t> inputSel;
+};
+
+/** The IR program plus its instance table. */
+struct IrProgram
+{
+    std::vector<IrInstr> instrs;
+    std::vector<RegInstance> instances;
+
+    /** Data-memory layout grows in three regions. */
+    uint32_t inputRows = 0;  ///< [0, inputRows): preloaded DAG inputs.
+    uint32_t outputRows = 0; ///< [inputRows, inputRows+outputRows).
+
+    /** Location of DAG input k (k-th Input node by id). */
+    std::vector<std::pair<uint32_t, uint32_t>> inputLocation;
+
+    /** Where each DAG sink value ends up. */
+    struct OutputLoc
+    {
+        NodeId node;
+        uint32_t row;
+        uint32_t col;
+    };
+    std::vector<OutputLoc> outputs;
+
+    /** Read conflicts resolved with copies (fig. 10(b) metric). */
+    uint64_t copyResolvedConflicts = 0;
+};
+
+/** Producer-write latency: cycles until the written register is
+ *  readable (exec: the D+1-stage pipeline; load/copy: 2). */
+inline uint32_t
+writeLatency(InstrKind kind, const ArchConfig &cfg)
+{
+    switch (kind) {
+      case InstrKind::Exec:
+        return cfg.pipelineStages();
+      case InstrKind::Load:
+      case InstrKind::Copy4:
+        return 2;
+      default:
+        return 0;
+    }
+}
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_IR_HH

@@ -1,0 +1,371 @@
+#include "compiler/mapper.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "arch/interconnect.hh"
+#include "support/rng.hh"
+
+namespace dpu {
+
+namespace {
+
+/** Banks are capped at 64 so a compatibility set fits one word. */
+using BankMask = uint64_t;
+
+uint32_t
+popcount(BankMask m)
+{
+    return static_cast<uint32_t>(std::popcount(m));
+}
+
+/** Pick the k-th (random) set bit of a mask. */
+uint32_t
+randomSetBit(BankMask m, Rng &rng)
+{
+    uint32_t n = popcount(m);
+    dpu_assert(n > 0, "empty mask");
+    uint32_t k = static_cast<uint32_t>(rng.below(n));
+    for (uint32_t b = 0;; ++b) {
+        if ((m >> b) & 1) {
+            if (k == 0)
+                return b;
+            --k;
+        }
+    }
+}
+
+class BankMapper
+{
+  public:
+    BankMapper(const Dag &dag, const ArchConfig &cfg,
+               const BlockDecomposition &dec, BankPolicy policy,
+               uint64_t seed)
+        : dag(dag), cfg(cfg), dec(dec), policy(policy), rng(seed)
+    {
+        dpu_assert(cfg.banks <= 64, "bank masks are 64-bit");
+    }
+
+    BankAssignment
+    run()
+    {
+        collectIoValues();
+        initCompatibility();
+        if (policy == BankPolicy::Random)
+            assignRandomly();
+        else
+            assignGreedily();
+        out.readConflicts = countReadConflicts(dec, out);
+        return std::move(out);
+    }
+
+  private:
+    /** Index io values and their reader blocks. */
+    void
+    collectIoValues()
+    {
+        out.bankOf.assign(dag.numNodes(), BankAssignment::invalid);
+        out.peOf.assign(dag.numNodes(), BankAssignment::invalid);
+        readerBlocks.assign(dag.numNodes(), {});
+        for (uint32_t b = 0; b < dec.blocks.size(); ++b)
+            for (NodeId v : dec.blocks[b].inputs)
+                readerBlocks[v].push_back(b);
+        for (NodeId v = 0; v < dag.numNodes(); ++v)
+            if (dec.isIo[v])
+                ioValues.push_back(v);
+    }
+
+    /** Physical (constraint H) mask of a value. */
+    BankMask
+    physicalMask(NodeId v) const
+    {
+        if (dag.node(v).isInput()) {
+            // Vector loads can write any bank.
+            return cfg.banks == 64 ? ~BankMask(0)
+                                   : (BankMask(1) << cfg.banks) - 1;
+        }
+        const Block &blk = dec.blocks[dec.blockOf[v]];
+        auto it = blk.placements.find(v);
+        dpu_assert(it != blk.placements.end(), "io node unplaced");
+        BankMask m = 0;
+        for (uint32_t pe : it->second)
+            for (uint32_t bank : writableBanks(cfg, pe))
+                m |= BankMask(1) << bank;
+        return m;
+    }
+
+    void
+    initCompatibility()
+    {
+        sb.assign(dag.numNodes(), 0);
+        phys.assign(dag.numNodes(), 0);
+        bucketOf.assign(dag.numNodes(), BankAssignment::invalid);
+        buckets.assign(cfg.banks + 1, {});
+        for (NodeId v : ioValues) {
+            phys[v] = physicalMask(v);
+            sb[v] = phys[v];
+            moveToBucket(v, popcount(sb[v]));
+        }
+    }
+
+    void
+    moveToBucket(NodeId v, uint32_t count)
+    {
+        bucketOf[v] = count;
+        buckets[count].push_back(v);
+    }
+
+    /** Pop the unassigned node with the fewest compatible banks. */
+    NodeId
+    popMinNode()
+    {
+        for (uint32_t c = 0; c <= cfg.banks; ++c) {
+            auto &bucket = buckets[c];
+            while (!bucket.empty()) {
+                // Random pop (objective J needs unbiased tie-breaks).
+                size_t k = rng.below(bucket.size());
+                std::swap(bucket[k], bucket.back());
+                NodeId v = bucket.back();
+                bucket.pop_back();
+                if (bucketOf[v] != c ||
+                    out.bankOf[v] != BankAssignment::invalid) {
+                    continue; // stale entry
+                }
+                return v;
+            }
+        }
+        return invalidNode;
+    }
+
+    /** Shrink a node's compatibility set after a neighbour's pick. */
+    void
+    removeBank(NodeId v, uint32_t bank)
+    {
+        if (out.bankOf[v] != BankAssignment::invalid)
+            return;
+        BankMask bit = BankMask(1) << bank;
+        if (!(sb[v] & bit))
+            return;
+        sb[v] &= ~bit;
+        moveToBucket(v, popcount(sb[v]));
+    }
+
+    /** Outputs of v's block other than v (simul_wr of algorithm 2). */
+    const std::vector<NodeId> &
+    blockOutputs(NodeId v) const
+    {
+        static const std::vector<NodeId> none;
+        if (dag.node(v).isInput())
+            return none;
+        return dec.blocks[dec.blockOf[v]].outputs;
+    }
+
+    /** Banks already taken by assigned outputs of v's block. */
+    BankMask
+    blockTakenMask(NodeId v) const
+    {
+        BankMask m = 0;
+        for (NodeId w : blockOutputs(v))
+            if (w != v && out.bankOf[w] != BankAssignment::invalid)
+                m |= BankMask(1) << out.bankOf[w];
+        return m;
+    }
+
+    /**
+     * Count, per bank, how contended it is for v: the number of
+     * already-assigned values that are read or written together with
+     * v and live in that bank (algorithm 2 line 24).
+     */
+    std::vector<uint32_t>
+    contention(NodeId v) const
+    {
+        std::vector<uint32_t> c(cfg.banks, 0);
+        auto tally = [&](NodeId w) {
+            if (w != v && out.bankOf[w] != BankAssignment::invalid)
+                ++c[out.bankOf[w]];
+        };
+        for (NodeId w : blockOutputs(v))
+            tally(w);
+        for (uint32_t rb : readerBlocks[v])
+            for (NodeId w : dec.blocks[rb].inputs)
+                tally(w);
+        return c;
+    }
+
+    /**
+     * Constraint-G repair: try to re-seat already-assigned outputs of
+     * the block so some bank in `want` frees up for v. Kuhn-style
+     * augmenting search over the block's outputs x physical banks.
+     * Guaranteed to succeed for the fig. 6 topologies (the per-tree
+     * writable-bank families admit a system of distinct
+     * representatives; see DESIGN.md).
+     */
+    bool
+    augmentForBank(NodeId v, BankMask want)
+    {
+        const auto &outs = blockOutputs(v);
+        std::vector<NodeId> ownerOf(cfg.banks, invalidNode);
+        for (NodeId w : outs)
+            if (w != v && out.bankOf[w] != BankAssignment::invalid)
+                ownerOf[out.bankOf[w]] = w;
+
+        std::vector<bool> visited(cfg.banks, false);
+        // Depth-first augmenting path: take bank b for `node`,
+        // recursively reseating its current owner.
+        auto dfs = [&](auto &&self, NodeId node, BankMask allowed) -> int {
+            for (uint32_t b = 0; b < cfg.banks; ++b) {
+                if (!(allowed >> b & 1) || visited[b])
+                    continue;
+                visited[b] = true;
+                NodeId owner = ownerOf[b];
+                if (owner == invalidNode ||
+                    self(self, owner, phys[owner]) >= 0) {
+                    ownerOf[b] = node;
+                    if (node != v) {
+                        out.bankOf[node] = b;
+                        out.peOf[node] = pickWriterPe(node, b);
+                    }
+                    return static_cast<int>(b);
+                }
+            }
+            return -1;
+        };
+        int got = dfs(dfs, v, want);
+        if (got < 0)
+            return false;
+        commitBank(v, static_cast<uint32_t>(got));
+        return true;
+    }
+
+    /** A replica PE of v that can write `bank` (constraint H). */
+    uint32_t
+    pickWriterPe(NodeId v, uint32_t bank) const
+    {
+        const Block &blk = dec.blocks[dec.blockOf[v]];
+        for (uint32_t pe : blk.placements.at(v)) {
+            auto banks = writableBanks(cfg, pe);
+            if (std::find(banks.begin(), banks.end(), bank) != banks.end())
+                return pe;
+        }
+        dpu_panic("no replica PE writes the chosen bank");
+    }
+
+    /** Finalize v's bank: record it, pick the writer PE, propagate
+     *  the F/G compatibility updates. */
+    void
+    commitBank(NodeId v, uint32_t bank)
+    {
+        out.bankOf[v] = bank;
+        if (!dag.node(v).isInput())
+            out.peOf[v] = pickWriterPe(v, bank);
+        // Constraint G (intra-block): block-mates may not share it.
+        for (NodeId w : blockOutputs(v))
+            if (w != v)
+                removeBank(w, bank);
+        // Objective I (inter-block): values read together with v
+        // should avoid v's bank.
+        for (uint32_t rb : readerBlocks[v])
+            for (NodeId w : dec.blocks[rb].inputs)
+                if (w != v)
+                    removeBank(w, bank);
+    }
+
+    void
+    assignGreedily()
+    {
+        for (;;) {
+            NodeId v = popMinNode();
+            if (v == invalidNode)
+                break;
+            BankMask taken = blockTakenMask(v);
+            BankMask free_compatible = sb[v] & ~taken;
+            if (free_compatible) {
+                commitBank(v, randomSetBit(free_compatible, rng));
+                continue;
+            }
+            // No conflict-free compatible bank left. Fall back to the
+            // least-contended physically writable bank (read conflicts
+            // become copies), still honoring constraint G.
+            BankMask hard = phys[v] & ~taken;
+            if (!hard) {
+                // Every physical bank is taken by a block-mate: reseat
+                // mates via an augmenting path (must succeed).
+                bool ok = augmentForBank(v, phys[v]);
+                dpu_assert(ok, "write-port matching infeasible");
+                continue;
+            }
+            auto contended = contention(v);
+            uint32_t best = BankAssignment::invalid;
+            uint32_t best_score = ~0u;
+            for (uint32_t b = 0; b < cfg.banks; ++b) {
+                if (!(hard >> b & 1))
+                    continue;
+                if (contended[b] < best_score) {
+                    best_score = contended[b];
+                    best = b;
+                }
+            }
+            commitBank(v, best);
+        }
+    }
+
+    /** fig. 10(b)'s baseline: uniform pick among physical banks,
+     *  repaired only for the hard write-port constraint G. */
+    void
+    assignRandomly()
+    {
+        for (NodeId v : ioValues) {
+            BankMask taken = blockTakenMask(v);
+            BankMask hard = phys[v] & ~taken;
+            if (!hard) {
+                bool ok = augmentForBank(v, phys[v]);
+                dpu_assert(ok, "write-port matching infeasible");
+                continue;
+            }
+            commitBank(v, randomSetBit(hard, rng));
+        }
+    }
+
+    const Dag &dag;
+    const ArchConfig &cfg;
+    const BlockDecomposition &dec;
+    BankPolicy policy;
+    Rng rng;
+    BankAssignment out;
+
+    std::vector<NodeId> ioValues;
+    std::vector<std::vector<uint32_t>> readerBlocks;
+    std::vector<BankMask> sb;   ///< Current compatibility (shrinks).
+    std::vector<BankMask> phys; ///< Constraint-H mask (fixed).
+    std::vector<uint32_t> bucketOf;
+    std::vector<std::vector<NodeId>> buckets;
+};
+
+} // namespace
+
+BankAssignment
+assignBanks(const Dag &dag, const ArchConfig &cfg,
+            const BlockDecomposition &dec, BankPolicy policy, uint64_t seed)
+{
+    return BankMapper(dag, cfg, dec, policy, seed).run();
+}
+
+uint64_t
+countReadConflicts(const BlockDecomposition &dec,
+                   const BankAssignment &assignment)
+{
+    uint64_t conflicts = 0;
+    std::vector<uint32_t> seen;
+    for (const Block &b : dec.blocks) {
+        seen.assign(64, 0);
+        for (NodeId v : b.inputs) {
+            uint32_t bank = assignment.bankOf[v];
+            dpu_assert(bank != BankAssignment::invalid, "unmapped input");
+            if (seen[bank]++)
+                ++conflicts; // every extra co-resident input = 1 copy
+        }
+    }
+    return conflicts;
+}
+
+} // namespace dpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compilation step 2: register-bank (and writer-PE) mapping
+ * (paper §IV-B, algorithm 2).
+ *
+ * Every io value — a DAG input or a block output — gets a *home bank*.
+ * The mapper works toward:
+ *   - Constraint F: two inputs of one block in different banks
+ *     (violations survive as *read conflicts*, each resolved later by
+ *     a copy instruction costing one stall cycle);
+ *   - Constraint G: two outputs of one block in different banks
+ *     (hard — banks have one write port; enforced exactly, with an
+ *     augmenting-path repair when the greedy paints itself in);
+ *   - Constraint H: the producing PE must be able to write the chosen
+ *     bank under the configured output interconnect (hard);
+ *   - Objective I: minimize read conflicts — nodes are processed in
+ *     fewest-compatible-banks-first order via the Mnodes buckets;
+ *   - Objective J: balance banks — ties are broken randomly.
+ *
+ * Deviation noted in DESIGN.md: PE positions are fixed by the
+ * deterministic unroll of step 1, so a block output's candidate banks
+ * are the union of its replicas' writable sets rather than a jointly
+ * searched PE/bank space.
+ */
+
+#ifndef DPU_COMPILER_MAPPER_HH
+#define DPU_COMPILER_MAPPER_HH
+
+#include <vector>
+
+#include "arch/config.hh"
+#include "compiler/blocks.hh"
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Bank-mapping policy (fig. 10(b) compares these). */
+enum class BankPolicy : uint8_t {
+    ConflictAware, ///< Algorithm 2.
+    Random,        ///< Uniform pick among physically writable banks.
+};
+
+/** Result of step 2. */
+struct BankAssignment
+{
+    /** Home bank per node (io values only; others: invalid). */
+    std::vector<uint32_t> bankOf;
+
+    /** Writer PE per io *compute* node (DAG inputs: invalid). */
+    std::vector<uint32_t> peOf;
+
+    /**
+     * Read conflicts implied by the assignment: over all blocks, the
+     * number of block inputs sharing a bank with another input of the
+     * same block (each costs one copy). This is fig. 6(e)/10(b)'s
+     * "bank conflicts" metric.
+     */
+    uint64_t readConflicts = 0;
+
+    static constexpr uint32_t invalid = static_cast<uint32_t>(-1);
+};
+
+/** Run step 2. The DAG must be the binarized one used for step 1. */
+BankAssignment assignBanks(const Dag &dag, const ArchConfig &cfg,
+                           const BlockDecomposition &dec,
+                           BankPolicy policy = BankPolicy::ConflictAware,
+                           uint64_t seed = 1);
+
+/** Recount read conflicts of an assignment (test/diagnostic helper). */
+uint64_t countReadConflicts(const BlockDecomposition &dec,
+                            const BankAssignment &assignment);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_MAPPER_HH

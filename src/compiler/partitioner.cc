@@ -1,0 +1,44 @@
+#include "compiler/partitioner.hh"
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+std::vector<PartitionRange>
+partitionByCount(const Dag &dag, size_t max_compute_nodes)
+{
+    dpu_assert(max_compute_nodes >= 1, "partition size must be positive");
+    std::vector<PartitionRange> parts;
+    NodeId start = 0;
+    size_t compute_in_part = 0;
+    for (NodeId v = 0; v < dag.numNodes(); ++v) {
+        if (dag.node(v).isInput())
+            continue;
+        if (compute_in_part == max_compute_nodes) {
+            parts.push_back({start, v});
+            start = v;
+            compute_in_part = 0;
+        }
+        ++compute_in_part;
+    }
+    parts.push_back({start, static_cast<NodeId>(dag.numNodes())});
+    return parts;
+}
+
+size_t
+countCrossEdges(const Dag &dag, const std::vector<PartitionRange> &parts)
+{
+    // Map node -> partition index.
+    std::vector<uint32_t> part_of(dag.numNodes(), 0);
+    for (uint32_t p = 0; p < parts.size(); ++p)
+        for (NodeId v = parts[p].first; v < parts[p].second; ++v)
+            part_of[v] = p;
+    size_t crossing = 0;
+    for (NodeId v = 0; v < dag.numNodes(); ++v)
+        for (NodeId o : dag.node(v).operands)
+            if (part_of[o] != part_of[v])
+                ++crossing;
+    return crossing;
+}
+
+} // namespace dpu

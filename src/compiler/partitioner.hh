@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Coarse partitioning of very large DAGs (paper §V-B "Compilation
+ * time": multi-million-node PCs are first split into ~20k-node
+ * partitions, compiled partition by partition).
+ *
+ * Node ids are topological in this codebase, so contiguous id ranges
+ * are valid acyclic partitions (every edge points forward); this is
+ * the linear-time substitution for GRAPHOPT's partitioner documented
+ * in DESIGN.md.
+ */
+
+#ifndef DPU_COMPILER_PARTITIONER_HH
+#define DPU_COMPILER_PARTITIONER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Half-open id range [first, last) forming one partition. */
+using PartitionRange = std::pair<NodeId, NodeId>;
+
+/**
+ * Split a DAG into consecutive id ranges, each containing at most
+ * `max_compute_nodes` compute nodes. Always returns at least one
+ * range covering the whole DAG.
+ */
+std::vector<PartitionRange> partitionByCount(const Dag &dag,
+                                             size_t max_compute_nodes);
+
+/** Number of edges crossing between different partitions. */
+size_t countCrossEdges(const Dag &dag,
+                       const std::vector<PartitionRange> &parts);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_PARTITIONER_HH

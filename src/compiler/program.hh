@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The compiler's output: an executable DPU-v2 program plus statistics.
+ */
+
+#ifndef DPU_COMPILER_PROGRAM_HH
+#define DPU_COMPILER_PROGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/isa.hh"
+#include "dag/node.hh"
+
+namespace dpu {
+
+/** Compilation statistics (feeds Table I, fig. 13, fig. 10, §IV-E). */
+struct CompileStats
+{
+    /** Instruction counts by kind, indexed by InstrKind. */
+    std::array<uint64_t, 6> kindCount{};
+
+    uint64_t instructions = 0; ///< Total instruction count.
+    uint64_t cycles = 0;       ///< instructions + pipeline drain.
+
+    uint64_t bankConflicts = 0; ///< Read conflicts resolved by copies.
+    uint64_t nops = 0;          ///< Unhidden pipeline hazards.
+    uint64_t spillStores = 0;
+    uint64_t reloads = 0;
+
+    uint64_t numOperations = 0; ///< Binarized compute nodes (for GOPS).
+    uint64_t peOpsExecuted = 0; ///< Arithmetic PE slots used (replicas
+                                ///  and pass-throughs excluded).
+    uint64_t blocks = 0;
+
+    uint64_t programBits = 0;   ///< Densely packed footprint.
+    /** Ablation of the automatic write policy (§III-B): footprint if
+     *  every register write carried an explicit address. */
+    uint64_t programBitsExplicitWrites = 0;
+    /** CSR-style baseline footprint of the same DAG (§IV-E). */
+    uint64_t csrBits = 0;
+    uint64_t dataBits = 0;      ///< Data-memory footprint in bits.
+
+    double compileSeconds = 0.0;
+};
+
+/** A compiled, executable program. */
+struct CompiledProgram
+{
+    ArchConfig cfg;
+    std::vector<Instruction> instructions;
+
+    /** Data-memory rows used (inputs + outputs + spills). */
+    uint32_t numRows = 0;
+
+    /** (row, col) of DAG input k (k-th Input node in id order). */
+    std::vector<std::pair<uint32_t, uint32_t>> inputLocation;
+
+    /** Where each DAG result lands. */
+    struct OutputLoc
+    {
+        NodeId node;
+        uint32_t row;
+        uint32_t col;
+    };
+    std::vector<OutputLoc> outputs;
+
+    CompileStats stats;
+};
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_PROGRAM_HH

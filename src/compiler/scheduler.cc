@@ -1,0 +1,242 @@
+#include "compiler/scheduler.hh"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+namespace {
+
+/** Dependence edge: successor must issue >= gap after predecessor. */
+struct DepEdge
+{
+    uint32_t succ;
+    uint32_t gap;
+};
+
+/**
+ * Build the dependence graph of an IR list:
+ *  - writer -> reader of each instance, gap = producer write latency;
+ *  - non-final reader -> valid_rst reader of an instance, gap 1
+ *    (the freeing read must stay the temporally last one);
+ *  - memory ordering on a data-memory row (store->load gap 2,
+ *    load->store and store->store gap 1).
+ */
+void
+buildDeps(const IrProgram &ir, const ArchConfig &cfg,
+          std::vector<std::vector<DepEdge>> &succs,
+          std::vector<uint32_t> &ndeps)
+{
+    const size_t n = ir.instrs.size();
+    succs.assign(n, {});
+    ndeps.assign(n, 0);
+
+    auto add_edge = [&](uint32_t from, uint32_t to, uint32_t gap) {
+        succs[from].push_back({to, gap});
+        ++ndeps[to];
+    };
+
+    std::vector<uint32_t> writer(ir.instances.size(),
+                                 static_cast<uint32_t>(-1));
+    std::vector<std::vector<uint32_t>> readers(ir.instances.size());
+    std::vector<uint32_t> rst_reader(ir.instances.size(),
+                                     static_cast<uint32_t>(-1));
+
+    std::map<uint32_t, uint32_t> last_row_writer; // row -> store idx
+    std::map<uint32_t, std::vector<uint32_t>> row_readers; // row -> loads
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const IrInstr &in = ir.instrs[i];
+        for (const IrRead &r : in.reads) {
+            dpu_assert(writer[r.inst] != static_cast<uint32_t>(-1),
+                       "read before write in IR");
+            add_edge(writer[r.inst],  i,
+                     writeLatency(ir.instrs[writer[r.inst]].kind, cfg));
+            if (r.lastRead) {
+                dpu_assert(rst_reader[r.inst] ==
+                           static_cast<uint32_t>(-1),
+                           "two valid_rst reads of one instance");
+                rst_reader[r.inst] = i;
+                for (uint32_t other : readers[r.inst])
+                    add_edge(other, i, 1);
+            } else {
+                readers[r.inst].push_back(i);
+            }
+        }
+        for (const IrWrite &w : in.writes) {
+            dpu_assert(writer[w.inst] == static_cast<uint32_t>(-1),
+                       "instance written twice in IR");
+            writer[w.inst] = i;
+        }
+        if (in.kind == InstrKind::Load) {
+            auto it = last_row_writer.find(in.memRow);
+            if (it != last_row_writer.end())
+                add_edge(it->second, i, 2);
+            row_readers[in.memRow].push_back(i);
+        } else if (in.kind == InstrKind::Store ||
+                   in.kind == InstrKind::Store4) {
+            auto it = last_row_writer.find(in.memRow);
+            if (it != last_row_writer.end())
+                add_edge(it->second, i, 1);
+            for (uint32_t rd : row_readers[in.memRow])
+                add_edge(rd, i, 1);
+            row_readers[in.memRow].clear();
+            last_row_writer[in.memRow] = i;
+        }
+    }
+
+    // Every instance must eventually be freed, or the register file
+    // leaks; codegen guarantees this.
+    for (size_t k = 0; k < ir.instances.size(); ++k)
+        dpu_assert(rst_reader[k] != static_cast<uint32_t>(-1),
+                   "instance never freed");
+}
+
+} // namespace
+
+ScheduleStats
+reorderForPipeline(IrProgram &ir, const ArchConfig &cfg, uint32_t window)
+{
+    dpu_assert(window >= 1, "window must be positive");
+    std::vector<std::vector<DepEdge>> succs;
+    std::vector<uint32_t> ndeps;
+    buildDeps(ir, cfg, succs, ndeps);
+
+    const uint32_t n = static_cast<uint32_t>(ir.instrs.size());
+    std::vector<uint32_t> remaining = ndeps;
+    std::vector<uint64_t> ready_at(n, 0);
+    std::vector<bool> scheduled(n, false);
+
+    // Min-heaps of issueable instructions by original index. Loads
+    // are kept apart and issued lazily (only when nothing else can
+    // go): hoisting a load early only inflates register pressure —
+    // its consumers cannot run sooner anyway — so eager loads would
+    // turn straight into spill traffic in step 4.
+    using MinHeap = std::priority_queue<uint32_t, std::vector<uint32_t>,
+                                        std::greater<uint32_t>>;
+    MinHeap readyOthers;
+    MinHeap readyLoads;
+    auto push_ready = [&](uint32_t i) {
+        if (ir.instrs[i].kind == InstrKind::Load)
+            readyLoads.push(i);
+        else
+            readyOthers.push(i);
+    };
+    // Instructions whose deps are all scheduled but whose gap has not
+    // elapsed yet, keyed by release time.
+    std::map<uint64_t, std::vector<uint32_t>> pending;
+
+    for (uint32_t i = 0; i < n; ++i)
+        if (remaining[i] == 0)
+            push_ready(i);
+
+    std::vector<IrInstr> out;
+    out.reserve(n + n / 8);
+    ScheduleStats stats;
+
+    uint32_t head = 0; // smallest unscheduled original index
+    uint64_t now = 0;
+    uint32_t done = 0;
+
+    auto release = [&](uint64_t time) {
+        auto it = pending.begin();
+        while (it != pending.end() && it->first <= time) {
+            for (uint32_t i : it->second)
+                push_ready(i);
+            it = pending.erase(it);
+        }
+    };
+
+    // Register-pressure feedback: pulling instructions forward to
+    // hide hazards stretches value lifetimes, which step 4 then pays
+    // for in spill traffic. Track an estimate of the live-register
+    // count and shrink the look-ahead window once it passes half the
+    // register file — nops are 1 cycle each, spill+reload pairs are 3.
+    const uint64_t capacity =
+        uint64_t(cfg.banks) * cfg.regsPerBank;
+    const uint64_t high_water = capacity / 2;
+    int64_t live = 0;
+
+    while (done < n) {
+        release(now);
+        while (head < n && scheduled[head])
+            ++head;
+
+        uint32_t eff_window =
+            live >= static_cast<int64_t>(high_water)
+                ? std::min<uint32_t>(window, 8)
+                : window;
+
+        // Issue the earliest ready non-load inside the window; fall
+        // back to the earliest ready load, then to a nop.
+        uint32_t pick = static_cast<uint32_t>(-1);
+        if (!readyOthers.empty() && readyOthers.top() < head + eff_window)
+            pick = readyOthers.top();
+        else if (!readyLoads.empty() &&
+                 readyLoads.top() < head + eff_window)
+            pick = readyLoads.top();
+
+        if (pick == static_cast<uint32_t>(-1)) {
+            // Nothing issueable: a hazard the window could not hide.
+            out.push_back(IrInstr{}); // nop
+            ++stats.nopsInserted;
+            ++now;
+            continue;
+        }
+        if (!readyOthers.empty() && pick == readyOthers.top())
+            readyOthers.pop();
+        else
+            readyLoads.pop();
+        scheduled[pick] = true;
+        live += static_cast<int64_t>(ir.instrs[pick].writes.size());
+        for (const IrRead &r : ir.instrs[pick].reads)
+            if (r.lastRead)
+                --live;
+        if (pick != head)
+            ++stats.movedInstructions;
+        out.push_back(std::move(ir.instrs[pick]));
+        ++done;
+        for (const DepEdge &e : succs[pick]) {
+            ready_at[e.succ] = std::max(ready_at[e.succ], now + e.gap);
+            if (--remaining[e.succ] == 0) {
+                if (ready_at[e.succ] <= now + 1)
+                    push_ready(e.succ);
+                else
+                    pending[ready_at[e.succ]].push_back(e.succ);
+            }
+        }
+        ++now;
+    }
+    ir.instrs = std::move(out);
+    return stats;
+}
+
+void
+checkHazardFree(const IrProgram &ir, const ArchConfig &cfg)
+{
+    std::vector<uint64_t> readable(ir.instances.size(), 0);
+    std::vector<bool> written(ir.instances.size(), false);
+    std::vector<bool> freed(ir.instances.size(), false);
+    for (uint32_t t = 0; t < ir.instrs.size(); ++t) {
+        const IrInstr &in = ir.instrs[t];
+        for (const IrRead &r : in.reads) {
+            dpu_assert(written[r.inst], "read of unwritten instance");
+            dpu_assert(!freed[r.inst], "read after valid_rst");
+            dpu_assert(readable[r.inst] <= t, "pipeline hazard");
+            if (r.lastRead)
+                freed[r.inst] = true;
+        }
+        for (const IrWrite &w : in.writes) {
+            dpu_assert(!written[w.inst], "double write");
+            written[w.inst] = true;
+            readable[w.inst] = t + writeLatency(in.kind, cfg);
+        }
+    }
+    for (size_t k = 0; k < ir.instances.size(); ++k)
+        dpu_assert(!written[k] || freed[k], "leaked instance");
+}
+
+} // namespace dpu

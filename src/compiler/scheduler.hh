@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compilation step 3: pipeline-aware reordering (paper §IV-C).
+ *
+ * The datapath has D+1 pipeline stages, so an instruction reading a
+ * register must issue at least `writeLatency(producer)` cycles after
+ * the producer. The scheduler reorders the IR list to hide these gaps
+ * behind independent instructions, searching only a fixed-size window
+ * of succeeding instructions (300, like the paper) so runtime stays
+ * linear, and inserts nops for hazards it cannot hide.
+ */
+
+#ifndef DPU_COMPILER_SCHEDULER_HH
+#define DPU_COMPILER_SCHEDULER_HH
+
+#include "arch/config.hh"
+#include "compiler/ir.hh"
+
+namespace dpu {
+
+/** Scheduling statistics. */
+struct ScheduleStats
+{
+    uint64_t nopsInserted = 0;
+    uint64_t movedInstructions = 0; ///< Issued out of original order.
+};
+
+/**
+ * Reorder `ir.instrs` in place.
+ *
+ * @param window Look-ahead window in instructions (paper: 300).
+ */
+ScheduleStats reorderForPipeline(IrProgram &ir, const ArchConfig &cfg,
+                                 uint32_t window = 300);
+
+/**
+ * Verify (for tests / the simulator cross-check) that every read in
+ * the list issues at least the producer's write latency after the
+ * producer, and that non-final reads of an instance precede its
+ * valid_rst read. Panics on violation.
+ */
+void checkHazardFree(const IrProgram &ir, const ArchConfig &cfg);
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_SCHEDULER_HH

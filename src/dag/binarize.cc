@@ -1,0 +1,64 @@
+#include "dag/binarize.hh"
+
+#include <functional>
+
+namespace dpu {
+
+namespace {
+
+/**
+ * Build a balanced binary reduction tree over `leaves` in `out`,
+ * returning the root id. `leaves` are ids in the output DAG.
+ */
+NodeId
+buildBalancedTree(Dag &out, OpType op, std::vector<NodeId> leaves)
+{
+    dpu_assert(!leaves.empty(), "reduction over zero operands");
+    // Repeatedly pair adjacent values until one remains. Pairing
+    // adjacent entries keeps the tree balanced: the number of live
+    // values halves each round.
+    while (leaves.size() > 1) {
+        std::vector<NodeId> next;
+        next.reserve((leaves.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < leaves.size(); i += 2)
+            next.push_back(out.addNode(op, {leaves[i], leaves[i + 1]}));
+        if (leaves.size() % 2 == 1)
+            next.push_back(leaves.back());
+        leaves = std::move(next);
+    }
+    return leaves[0];
+}
+
+} // namespace
+
+BinarizeResult
+binarize(const Dag &input)
+{
+    BinarizeResult res;
+    res.valueOf.resize(input.numNodes(), invalidNode);
+
+    for (NodeId id = 0; id < input.numNodes(); ++id) {
+        const Node &n = input.node(id);
+        if (n.isInput()) {
+            res.valueOf[id] = res.dag.addInput();
+            continue;
+        }
+        std::vector<NodeId> ops;
+        ops.reserve(n.operands.size());
+        for (NodeId src : n.operands) {
+            dpu_assert(res.valueOf[src] != invalidNode,
+                       "operand not yet translated");
+            ops.push_back(res.valueOf[src]);
+        }
+        if (ops.size() == 1) {
+            // A 1-input Add/Mul is the identity; forward the operand.
+            res.valueOf[id] = ops[0];
+        } else {
+            res.valueOf[id] = buildBalancedTree(res.dag, n.op,
+                                                std::move(ops));
+        }
+    }
+    return res;
+}
+
+} // namespace dpu

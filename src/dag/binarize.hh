@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binarization: rewrite multi-input nodes as trees of 2-input nodes.
+ *
+ * Compilation "begins by decomposing the input DAG, which is first
+ * converted to a binary DAG (containing 2-input nodes only) by replacing
+ * a multi-input node with a tree of 2-input nodes" (paper §IV-A). The
+ * PEs have two inputs, so this is what makes nodes directly mappable.
+ */
+
+#ifndef DPU_DAG_BINARIZE_HH
+#define DPU_DAG_BINARIZE_HH
+
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Result of binarization. */
+struct BinarizeResult
+{
+    Dag dag; ///< Equivalent DAG with only 2-input compute nodes.
+
+    /**
+     * For every node of the *original* DAG, the id of the node in the
+     * binary DAG that carries its value (the root of its expansion
+     * tree). Single-operand nodes collapse into their operand.
+     */
+    std::vector<NodeId> valueOf;
+};
+
+/**
+ * Binarize a DAG. Multi-input Add/Mul nodes become balanced trees of
+ * 2-input nodes of the same operator (Add and Mul are associative and
+ * commutative, so any tree shape is value-preserving; balanced trees
+ * minimize the added depth). Single-operand nodes are forwarded.
+ */
+BinarizeResult binarize(const Dag &input);
+
+} // namespace dpu
+
+#endif // DPU_DAG_BINARIZE_HH

@@ -1,0 +1,72 @@
+#include "dag/dag.hh"
+
+#include <algorithm>
+
+namespace dpu {
+
+NodeId
+Dag::addInput()
+{
+    NodeId id = static_cast<NodeId>(nodes.size());
+    nodes.push_back(Node{OpType::Input, {}});
+    succ.emplace_back();
+    ++inputCount;
+    return id;
+}
+
+NodeId
+Dag::addNode(OpType op, std::vector<NodeId> operands)
+{
+    dpu_assert(op != OpType::Input, "use addInput() for input nodes");
+    dpu_assert(!operands.empty(), "compute node needs operands");
+    NodeId id = static_cast<NodeId>(nodes.size());
+    for (NodeId src : operands) {
+        dpu_assert(src < id, "operand must reference an existing node");
+        succ[src].push_back(id);
+        ++edgeCount;
+    }
+    nodes.push_back(Node{op, std::move(operands)});
+    succ.emplace_back();
+    return id;
+}
+
+std::vector<NodeId>
+Dag::sinks() const
+{
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < nodes.size(); ++id)
+        if (succ[id].empty())
+            out.push_back(id);
+    return out;
+}
+
+std::vector<NodeId>
+Dag::inputIds() const
+{
+    std::vector<NodeId> out;
+    out.reserve(inputCount);
+    for (NodeId id = 0; id < nodes.size(); ++id)
+        if (nodes[id].isInput())
+            out.push_back(id);
+    return out;
+}
+
+bool
+Dag::isBinary() const
+{
+    for (const Node &n : nodes)
+        if (!n.isInput() && n.operands.size() != 2)
+            return false;
+    return true;
+}
+
+size_t
+Dag::maxOutDegree() const
+{
+    size_t best = 0;
+    for (const auto &s : succ)
+        best = std::max(best, s.size());
+    return best;
+}
+
+} // namespace dpu

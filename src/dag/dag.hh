@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The directed-acyclic-graph substrate.
+ *
+ * A Dag owns its nodes and maintains successor lists incrementally.
+ * Acyclicity is guaranteed by construction: a node may only reference
+ * operands with smaller ids, which makes node-id order a topological
+ * order for free and keeps every downstream algorithm simple.
+ */
+
+#ifndef DPU_DAG_DAG_HH
+#define DPU_DAG_DAG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "dag/node.hh"
+
+namespace dpu {
+
+/** An irregular computation DAG (paper §II). */
+class Dag
+{
+  public:
+    Dag() = default;
+
+    /** Add an external input (leaf) node. @return its id. */
+    NodeId addInput();
+
+    /**
+     * Add a compute node.
+     *
+     * @param op Operator (Add or Mul).
+     * @param operands Ids of operand nodes; each must already exist.
+     * @return Id of the new node.
+     */
+    NodeId addNode(OpType op, std::vector<NodeId> operands);
+
+    /** Total number of nodes (inputs + compute). */
+    size_t numNodes() const { return nodes.size(); }
+
+    /** Number of Input leaves. */
+    size_t numInputs() const { return inputCount; }
+
+    /** Number of compute (non-input) nodes — the paper's "n". */
+    size_t numOperations() const { return nodes.size() - inputCount; }
+
+    /** Number of edges (sum of operand counts). */
+    size_t numEdges() const { return edgeCount; }
+
+    const Node &
+    node(NodeId id) const
+    {
+        dpu_assert(id < nodes.size(), "node id out of range");
+        return nodes[id];
+    }
+
+    /** Nodes that consume the value of `id`. */
+    const std::vector<NodeId> &
+    successors(NodeId id) const
+    {
+        dpu_assert(id < succ.size(), "node id out of range");
+        return succ[id];
+    }
+
+    /** Out-degree of a node. */
+    size_t outDegree(NodeId id) const { return successors(id).size(); }
+
+    /** Nodes with no successors (the DAG's results). */
+    std::vector<NodeId> sinks() const;
+
+    /** All Input node ids, in id order. */
+    std::vector<NodeId> inputIds() const;
+
+    /** True if every compute node has exactly two operands. */
+    bool isBinary() const;
+
+    /** Maximum out-degree over all nodes (the paper's Delta(G)). */
+    size_t maxOutDegree() const;
+
+  private:
+    std::vector<Node> nodes;
+    std::vector<std::vector<NodeId>> succ;
+    size_t inputCount = 0;
+    size_t edgeCount = 0;
+};
+
+} // namespace dpu
+
+#endif // DPU_DAG_DAG_HH

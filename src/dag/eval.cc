@@ -1,0 +1,43 @@
+#include "dag/eval.hh"
+
+namespace dpu {
+
+std::vector<double>
+evaluate(const Dag &dag, const std::vector<double> &input_values)
+{
+    dpu_assert(input_values.size() == dag.numInputs(),
+               "wrong number of input values");
+    std::vector<double> value(dag.numNodes(), 0.0);
+    size_t next_input = 0;
+    for (NodeId id = 0; id < dag.numNodes(); ++id) {
+        const Node &n = dag.node(id);
+        if (n.isInput()) {
+            value[id] = input_values[next_input++];
+            continue;
+        }
+        if (n.op == OpType::Add) {
+            double acc = 0.0;
+            for (NodeId src : n.operands)
+                acc += value[src];
+            value[id] = acc;
+        } else {
+            double acc = 1.0;
+            for (NodeId src : n.operands)
+                acc *= value[src];
+            value[id] = acc;
+        }
+    }
+    return value;
+}
+
+std::vector<double>
+evaluateSinks(const Dag &dag, const std::vector<double> &input_values)
+{
+    auto value = evaluate(dag, input_values);
+    std::vector<double> out;
+    for (NodeId s : dag.sinks())
+        out.push_back(value[s]);
+    return out;
+}
+
+} // namespace dpu

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reference (golden) evaluator for computation DAGs.
+ *
+ * The cycle-accurate simulator's functional results are cross-checked
+ * against this evaluator on every run: it is the single source of truth
+ * for "what the DAG computes".
+ */
+
+#ifndef DPU_DAG_EVAL_HH
+#define DPU_DAG_EVAL_HH
+
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/**
+ * Evaluate a DAG.
+ *
+ * @param dag The DAG.
+ * @param input_values One value per Input node, in input-id order
+ *        (i.e. input_values[k] feeds the k-th input by id).
+ * @return One value per node (inputs echo their input value).
+ */
+std::vector<double> evaluate(const Dag &dag,
+                             const std::vector<double> &input_values);
+
+/** Evaluate and return only the values of the DAG's sink nodes. */
+std::vector<double> evaluateSinks(const Dag &dag,
+                                  const std::vector<double> &input_values);
+
+} // namespace dpu
+
+#endif // DPU_DAG_EVAL_HH

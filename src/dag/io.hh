@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text serialization of DAGs.
+ *
+ * The format is a line-oriented edge list in topological order:
+ *
+ *     dpu-dag v1 <num_nodes>
+ *     i                 # input node
+ *     + <id> <id> ...   # add node with operand ids
+ *     * <id> <id> ...   # mul node with operand ids
+ *
+ * Node k is defined by line k (0-based after the header). The paper's
+ * compiler accepts "any of the popular graph formats"; this repository
+ * standardizes on one simple format plus Matrix Market for matrices
+ * (see workloads/sparse_matrix.hh).
+ */
+
+#ifndef DPU_DAG_IO_HH
+#define DPU_DAG_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Serialize a DAG to a stream. */
+void writeDag(const Dag &dag, std::ostream &out);
+
+/** Parse a DAG from a stream. Throws FatalError on malformed input. */
+Dag readDag(std::istream &in);
+
+/** Convenience: serialize to / parse from a file path. */
+void writeDagFile(const Dag &dag, const std::string &path);
+Dag readDagFile(const std::string &path);
+
+/**
+ * Emit Graphviz DOT for visual inspection (inputs as boxes, sums as
+ * circled '+', products as circled 'x'). Intended for small DAGs;
+ * node count is not limited but graphviz will be.
+ */
+void writeDot(const Dag &dag, std::ostream &out,
+              const std::string &graph_name = "dag");
+
+} // namespace dpu
+
+#endif // DPU_DAG_IO_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * DAG optimization passes run ahead of compilation.
+ *
+ * Learned probabilistic circuits and mechanically-lowered SpTRSV DAGs
+ * carry redundancy a hardware compiler should not pay for: duplicate
+ * subexpressions (identical operator + operands) and nodes whose
+ * values nothing consumes. Both passes are value-preserving and keep
+ * node ids topological.
+ */
+
+#ifndef DPU_DAG_OPTIMIZE_HH
+#define DPU_DAG_OPTIMIZE_HH
+
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Result of an optimization pass. */
+struct OptimizeResult
+{
+    Dag dag;
+
+    /** For every original node: the new node carrying its value, or
+     *  invalidNode if the node was eliminated as dead. */
+    std::vector<NodeId> valueOf;
+
+    size_t removedNodes = 0;
+};
+
+/**
+ * Common-subexpression elimination: collapse compute nodes with the
+ * same operator and operand list (operands are compared after their
+ * own remapping, so chains of duplicates collapse in one pass; Add
+ * and Mul are commutative, so operand order is canonicalized).
+ */
+OptimizeResult eliminateCommonSubexpressions(const Dag &dag);
+
+/**
+ * Dead-node elimination: drop compute nodes that none of the
+ * designated `outputs` depends on. With an empty output list every
+ * sink counts as an output (then nothing is dead — in a DAG every
+ * node reaches some sink). Passing an explicit subset enables
+ * query-specific compilation, e.g. evaluating one root of a
+ * multi-root probabilistic circuit. Input nodes are always kept
+ * (they are the external interface).
+ */
+OptimizeResult eliminateDeadNodes(const Dag &dag,
+                                  const std::vector<NodeId> &outputs = {});
+
+/** CSE followed by DCE toward the given outputs. */
+OptimizeResult optimizeDag(const Dag &dag,
+                           const std::vector<NodeId> &outputs = {});
+
+} // namespace dpu
+
+#endif // DPU_DAG_OPTIMIZE_HH

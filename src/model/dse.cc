@@ -1,0 +1,116 @@
+#include "model/dse.hh"
+
+#include "compiler/compiler.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace dpu {
+
+DsePoint
+evaluateDesign(const ArchConfig &cfg,
+               const std::vector<WorkloadSpec> &suite, double scale,
+               uint64_t seed)
+{
+    DsePoint point;
+    point.cfg = cfg;
+    point.areaMm2 = areaOf(cfg).total;
+
+    Summary lat, epo, gops, watts;
+    for (const WorkloadSpec &spec : suite) {
+        Dag dag = buildWorkloadDag(spec, scale);
+        CompileOptions opt;
+        opt.seed = seed;
+        CompiledProgram prog;
+        try {
+            prog = compile(dag, cfg, opt);
+        } catch (const FatalError &) {
+            // Register file too small for this workload: the design
+            // point cannot run the suite.
+            point.feasible = false;
+            return point;
+        }
+        Rng rng(seed + spec.seed);
+        std::vector<double> inputs(dag.numInputs());
+        for (double &x : inputs)
+            x = 0.5 + rng.uniform();
+        SimResult res = Machine(prog).run(inputs);
+        EnergyBreakdown e =
+            energyOf(cfg, res.stats, prog.stats.numOperations);
+        lat.add(e.latencyPerOpNs());
+        epo.add(e.energyPerOpPj());
+        gops.add(double(prog.stats.numOperations) / e.seconds() * 1e-9);
+        watts.add(e.wallPowerWatts());
+    }
+    point.latencyPerOpNs = lat.mean();
+    point.energyPerOpPj = epo.mean();
+    point.edpPjNs = point.latencyPerOpNs * point.energyPerOpPj;
+    point.throughputGops = gops.mean();
+    point.powerWatts = watts.mean();
+    return point;
+}
+
+std::vector<DsePoint>
+exploreDesignSpace(const DseOptions &options)
+{
+    auto suite = smallSuite();
+    std::vector<DsePoint> points;
+    for (uint32_t d : options.depths)
+        for (uint32_t b : options.banks)
+            for (uint32_t r : options.regs) {
+                if (b < (1u << d))
+                    continue; // needs at least one full tree
+                ArchConfig cfg;
+                cfg.depth = d;
+                cfg.banks = b;
+                cfg.regsPerBank = r;
+                points.push_back(evaluateDesign(cfg, suite,
+                                                options.workloadScale,
+                                                options.seed));
+            }
+    return points;
+}
+
+namespace {
+
+template <typename Metric>
+size_t
+argmin(const std::vector<DsePoint> &points, Metric metric)
+{
+    dpu_assert(!points.empty(), "empty design space");
+    size_t best = points.size();
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].feasible)
+            continue;
+        if (best == points.size() ||
+            metric(points[i]) < metric(points[best])) {
+            best = i;
+        }
+    }
+    dpu_assert(best != points.size(), "no feasible design point");
+    return best;
+}
+
+} // namespace
+
+size_t
+minEdpIndex(const std::vector<DsePoint> &points)
+{
+    return argmin(points, [](const DsePoint &p) { return p.edpPjNs; });
+}
+
+size_t
+minEnergyIndex(const std::vector<DsePoint> &points)
+{
+    return argmin(points,
+                  [](const DsePoint &p) { return p.energyPerOpPj; });
+}
+
+size_t
+minLatencyIndex(const std::vector<DsePoint> &points)
+{
+    return argmin(points,
+                  [](const DsePoint &p) { return p.latencyPerOpNs; });
+}
+
+} // namespace dpu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Design-space exploration (paper §V, fig. 11/12).
+ *
+ * Sweeps D in {1,2,3}, B in {8,16,32,64}, R in {16,32,64,128} — 48
+ * design points — compiling and simulating every workload of the
+ * suite on each, then averages latency/op, energy/op and EDP to find
+ * the optima.
+ */
+
+#ifndef DPU_MODEL_DSE_HH
+#define DPU_MODEL_DSE_HH
+
+#include <vector>
+
+#include "arch/config.hh"
+#include "model/energy.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    ArchConfig cfg;
+    double latencyPerOpNs = 0;
+    double energyPerOpPj = 0;
+    double edpPjNs = 0;
+    double areaMm2 = 0;
+    double powerWatts = 0;
+    double throughputGops = 0;
+    bool feasible = true; ///< False if some workload failed to fit.
+};
+
+/** Sweep options. */
+struct DseOptions
+{
+    std::vector<uint32_t> depths{1, 2, 3};
+    std::vector<uint32_t> banks{8, 16, 32, 64};
+    std::vector<uint32_t> regs{16, 32, 64, 128};
+    double workloadScale = 1.0; ///< Scale factor on workload size.
+    uint64_t seed = 1;
+};
+
+/** Run the sweep over the Table I (a)+(b) suite. */
+std::vector<DsePoint> exploreDesignSpace(const DseOptions &options = {});
+
+/** Evaluate one configuration over the suite (averaged). */
+DsePoint evaluateDesign(const ArchConfig &cfg,
+                        const std::vector<WorkloadSpec> &suite,
+                        double scale, uint64_t seed);
+
+/** Index of the minimum-EDP / minimum-energy / minimum-latency point
+ *  among the feasible points. */
+size_t minEdpIndex(const std::vector<DsePoint> &points);
+size_t minEnergyIndex(const std::vector<DsePoint> &points);
+size_t minLatencyIndex(const std::vector<DsePoint> &points);
+
+} // namespace dpu
+
+#endif // DPU_MODEL_DSE_HH

@@ -1,0 +1,165 @@
+#include "model/energy.hh"
+
+#include "arch/isa.hh"
+#include "model/tech28.hh"
+#include "support/logging.hh"
+
+namespace dpu {
+
+namespace t = tech28;
+
+const char *
+moduleName(Module m)
+{
+    switch (m) {
+      case Module::Pes: return "PEs";
+      case Module::PipelineRegs: return "Pipelining registers";
+      case Module::InputInterconnect: return "Input interconnect";
+      case Module::OutputInterconnect: return "Output interconnect";
+      case Module::RegisterBanks: return "Register banks";
+      case Module::WriteAddrGen: return "Wr addr generator";
+      case Module::InstrFetch: return "Instr fetch";
+      case Module::Decode: return "Decode";
+      case Module::CtrlPipelineRegs: return "Ctrl pipelining regs";
+      case Module::InstrMemory: return "Instruction memory";
+      case Module::DataMemory: return "Data memory";
+      case Module::Count: break;
+    }
+    return "?";
+}
+
+namespace {
+
+double &
+slot(AreaBreakdown &a, Module m)
+{
+    return a.byModule[static_cast<size_t>(m)];
+}
+
+double &
+slot(EnergyBreakdown &e, Module m)
+{
+    return e.byModule[static_cast<size_t>(m)];
+}
+
+} // namespace
+
+AreaBreakdown
+areaOf(const ArchConfig &cfg, double instr_mem_bytes,
+       double data_mem_bytes)
+{
+    cfg.check();
+    if (instr_mem_bytes <= 0)
+        instr_mem_bytes = t::imemBytes;
+    if (data_mem_bytes <= 0)
+        data_mem_bytes = double(cfg.dataMemRows) * cfg.banks * 4;
+
+    IsaLayout lay(cfg);
+    const double il = lay.maxLengthBits();
+    const double regs = double(cfg.banks) * cfg.regsPerBank;
+
+    AreaBreakdown a;
+    slot(a, Module::Pes) = t::peAreaMm2 * cfg.numPes();
+    slot(a, Module::PipelineRegs) = t::pipeRegAreaMm2 * cfg.numPes();
+    slot(a, Module::InputInterconnect) =
+        t::xbarAreaMm2PerB2 * cfg.banks * cfg.banks;
+    slot(a, Module::OutputInterconnect) =
+        t::outputIcAreaMm2 * cfg.banks * cfg.depth;
+    slot(a, Module::RegisterBanks) = t::bankAreaMm2PerReg * regs;
+    slot(a, Module::WriteAddrGen) = t::wagAreaMm2PerReg * regs;
+    slot(a, Module::InstrFetch) = t::fetchAreaMm2PerIlBit * il;
+    slot(a, Module::Decode) = t::decodeAreaMm2PerIlBit * il;
+    slot(a, Module::CtrlPipelineRegs) = t::ctrlPipeAreaMm2PerIlBit * il;
+    slot(a, Module::InstrMemory) =
+        t::memAreaMm2PerMb * instr_mem_bytes / (1024.0 * 1024.0);
+    slot(a, Module::DataMemory) =
+        t::memAreaMm2PerMb * data_mem_bytes / (1024.0 * 1024.0);
+
+    for (double v : a.byModule)
+        a.total += v;
+    return a;
+}
+
+double
+EnergyBreakdown::seconds() const
+{
+    return double(cycles) / t::frequencyHz;
+}
+
+double
+EnergyBreakdown::wallPowerWatts() const
+{
+    return totalPj * 1e-12 / seconds();
+}
+
+double
+EnergyBreakdown::latencyPerOpNs() const
+{
+    dpu_assert(operations > 0, "no operations");
+    return double(cycles) / double(operations) / (t::frequencyHz * 1e-9);
+}
+
+double
+EnergyBreakdown::energyPerOpPj() const
+{
+    dpu_assert(operations > 0, "no operations");
+    return totalPj / double(operations);
+}
+
+double
+EnergyBreakdown::edpPjNs() const
+{
+    return energyPerOpPj() * latencyPerOpNs();
+}
+
+EnergyBreakdown
+energyOf(const ArchConfig &cfg, const SimStats &s, uint64_t operations)
+{
+    cfg.check();
+    IsaLayout lay(cfg);
+    const double il = lay.maxLengthBits();
+    const double il_scale = il / t::refIlBits;
+    const double regs = double(cfg.banks) * cfg.regsPerBank;
+    const double cycles = double(s.cycles);
+
+    EnergyBreakdown e;
+    e.cycles = s.cycles;
+    e.operations = operations;
+
+    slot(e, Module::Pes) = t::peOpPj * double(s.peOperations) +
+                           t::pePassPj * double(s.pePassThroughs);
+    slot(e, Module::PipelineRegs) =
+        t::pipeClockPjPerPe * cfg.numPes() * cycles +
+        t::pipeTogglePj *
+            double(s.peOperations + s.pePassThroughs);
+    slot(e, Module::InputInterconnect) =
+        t::xbarWordPj * (cfg.banks / t::xbarRefBanks) *
+        double(s.crossbarTransfers);
+    slot(e, Module::OutputInterconnect) =
+        t::outputWordPj * (cfg.depth / t::outputRefDepth) *
+        double(s.bankWrites);
+    slot(e, Module::RegisterBanks) =
+        t::bankClockPjPerReg * regs * cycles +
+        t::bankAccessPj *
+            (t::bankAccessR0 +
+             t::bankAccessR1 * cfg.regsPerBank / 32.0) *
+            double(s.bankReads + s.bankWrites);
+    slot(e, Module::WriteAddrGen) = t::wagPjPerReg * regs * cycles;
+    slot(e, Module::InstrFetch) =
+        t::fetchPjPerCycle * il_scale * cycles;
+    slot(e, Module::Decode) =
+        t::decodePjPerBit * double(s.instrBitsFetched);
+    slot(e, Module::CtrlPipelineRegs) =
+        t::ctrlPipePjPerCycle * il_scale * cycles;
+    slot(e, Module::InstrMemory) =
+        t::imemPjPerCycle * il_scale * cycles;
+    slot(e, Module::DataMemory) =
+        t::dmemRowPj * (cfg.banks / t::dmemRefBanks) *
+        double(s.memReads + s.memWrites);
+
+    for (double v : e.byModule)
+        e.totalPj += v;
+    return e;
+}
+
+} // namespace dpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Area / power / energy model of a DPU-v2 instance (paper §V-B,
+ * Table II), driven by the simulator's event counts and calibrated by
+ * tech28.hh.
+ */
+
+#ifndef DPU_MODEL_ENERGY_HH
+#define DPU_MODEL_ENERGY_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "sim/machine.hh"
+
+namespace dpu {
+
+/** Table II module rows. */
+enum class Module : uint8_t {
+    Pes,
+    PipelineRegs,
+    InputInterconnect,
+    OutputInterconnect,
+    RegisterBanks,
+    WriteAddrGen,
+    InstrFetch,
+    Decode,
+    CtrlPipelineRegs,
+    InstrMemory,
+    DataMemory,
+    Count,
+};
+
+/** Printable module name (matches Table II). */
+const char *moduleName(Module m);
+
+/** Per-module area of a configuration, in mm^2. */
+struct AreaBreakdown
+{
+    double byModule[static_cast<size_t>(Module::Count)] = {};
+    double total = 0.0;
+};
+
+/** Area model. `data_mem_bytes`/`instr_mem_bytes` default to the
+ *  small-configuration memories (1 MB each). */
+AreaBreakdown areaOf(const ArchConfig &cfg, double instr_mem_bytes = 0,
+                     double data_mem_bytes = 0);
+
+/** Energy of one program execution, by module (picojoules). */
+struct EnergyBreakdown
+{
+    double byModule[static_cast<size_t>(Module::Count)] = {};
+    double totalPj = 0.0;
+
+    uint64_t cycles = 0;
+    uint64_t operations = 0;
+
+    /** Derived metrics (paper fig. 11 axes). */
+    double seconds() const;
+    double wallPowerWatts() const;
+    double latencyPerOpNs() const;
+    double energyPerOpPj() const;
+    double edpPjNs() const; ///< energy/op * latency/op.
+};
+
+/** Evaluate the energy model on one simulated run. */
+EnergyBreakdown energyOf(const ArchConfig &cfg, const SimStats &stats,
+                         uint64_t operations);
+
+} // namespace dpu
+
+#endif // DPU_MODEL_ENERGY_HH

@@ -1,0 +1,39 @@
+#include "sim/batch.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+BatchMachine::BatchMachine(const CompiledProgram &program, uint32_t n,
+                           uint64_t ops)
+    : prog(program), cores(n), operations(ops)
+{
+    dpu_assert(cores >= 1, "need at least one core");
+}
+
+BatchResult
+BatchMachine::run(const std::vector<std::vector<double>> &inputs)
+{
+    BatchResult out;
+    out.runs.reserve(inputs.size());
+
+    // Each core executes ceil(batch/cores) back-to-back programs;
+    // the wall clock is the busiest core (they are identical, so
+    // that is simply the slice count times the program length).
+    std::vector<uint64_t> core_cycles(cores, 0);
+    Machine machine(prog);
+    for (size_t k = 0; k < inputs.size(); ++k) {
+        SimResult res = machine.run(inputs[k]);
+        core_cycles[k % cores] += res.stats.cycles;
+        out.totalOperations += operations;
+        out.runs.push_back(std::move(res));
+    }
+    out.wallCycles = core_cycles.empty()
+        ? 0
+        : *std::max_element(core_cycles.begin(), core_cycles.end());
+    return out;
+}
+
+} // namespace dpu

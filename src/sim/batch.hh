@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-core batch execution (paper §V-C2): DPU-v2 (L) deploys four
+ * cores that "can either perform batch execution (used for
+ * benchmarking) or execute different DAGs". A BatchMachine runs one
+ * compiled program over a batch of input vectors across N model
+ * cores and reports aggregate throughput-relevant statistics.
+ */
+
+#ifndef DPU_SIM_BATCH_HH
+#define DPU_SIM_BATCH_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace dpu {
+
+/** Aggregate outcome of a batch run. */
+struct BatchResult
+{
+    /** Per-input results, in submission order. */
+    std::vector<SimResult> runs;
+
+    /** Wall cycles: cores run in lockstep over round-robin slices. */
+    uint64_t wallCycles = 0;
+
+    /** Total operations executed across the batch. */
+    uint64_t totalOperations = 0;
+
+    /** Aggregate throughput at a clock frequency. */
+    double
+    throughputGops(double frequency_hz) const
+    {
+        return wallCycles
+            ? static_cast<double>(totalOperations) /
+                  (static_cast<double>(wallCycles) / frequency_hz) *
+                  1e-9
+            : 0.0;
+    }
+};
+
+/** N identical cores executing one program over a batch of inputs. */
+class BatchMachine
+{
+  public:
+    /**
+     * @param program Compiled program (shared by all cores — the
+     *        static-DAG scenario).
+     * @param cores Core count (the paper's large system uses 4).
+     * @param operations Operations per program execution (for
+     *        throughput accounting).
+     */
+    BatchMachine(const CompiledProgram &program, uint32_t cores,
+                 uint64_t operations);
+
+    /** Run every input vector; inputs are dealt round-robin. */
+    BatchResult run(const std::vector<std::vector<double>> &inputs);
+
+  private:
+    const CompiledProgram &prog;
+    uint32_t cores;
+    uint64_t operations;
+};
+
+} // namespace dpu
+
+#endif // DPU_SIM_BATCH_HH

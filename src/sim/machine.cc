@@ -1,0 +1,354 @@
+#include "sim/machine.hh"
+
+#include <cmath>
+#include <set>
+
+#include "arch/interconnect.hh"
+#include "dag/binarize.hh"
+#include "dag/dag.hh"
+#include "dag/eval.hh"
+#include "support/logging.hh"
+
+namespace dpu {
+
+namespace {
+
+/** One register: a value plus validity and an in-flight clock. */
+struct Reg
+{
+    bool valid = false;
+    double value = 0.0;
+    uint64_t arrivesAt = 0; ///< First cycle the data may be read.
+};
+
+class Engine
+{
+  public:
+    Engine(const CompiledProgram &prog, const SimOptions &opts)
+        : prog(prog), opts(opts), cfg(prog.cfg), lay(cfg)
+    {}
+
+    SimResult
+    run(const std::vector<double> &inputs)
+    {
+        initMemory(inputs);
+        banks.assign(cfg.banks, std::vector<Reg>(cfg.regsPerBank));
+
+        for (now = 0; now < prog.instructions.size(); ++now)
+            issue(prog.instructions[now]);
+
+        // Let the pipeline drain.
+        stats.cycles = prog.instructions.size() + cfg.pipelineStages();
+
+        // Every register must have been freed by a final read; a
+        // leak means the compiler lost track of a value.
+        for (uint32_t b = 0; b < cfg.banks; ++b)
+            for (uint32_t r = 0; r < cfg.regsPerBank; ++r)
+                dpu_assert(!banks[b][r].valid, "register leak at end");
+
+        SimResult res;
+        res.stats = std::move(stats);
+        for (const auto &o : prog.outputs)
+            res.outputs.push_back(mem[o.row][o.col]);
+        return res;
+    }
+
+  private:
+    void
+    initMemory(const std::vector<double> &inputs)
+    {
+        dpu_assert(inputs.size() == prog.inputLocation.size(),
+                   "wrong number of input values");
+        mem.assign(prog.numRows, std::vector<double>(cfg.banks, 0.0));
+        for (size_t k = 0; k < inputs.size(); ++k) {
+            auto [row, col] = prog.inputLocation[k];
+            mem[row][col] = inputs[k];
+        }
+    }
+
+    /** Read a register, enforcing validity and pipeline timing. */
+    double
+    readReg(uint32_t bank, uint32_t addr)
+    {
+        dpu_assert(bank < cfg.banks && addr < cfg.regsPerBank,
+                   "register index out of range");
+        const Reg &r = banks[bank][addr];
+        dpu_assert(r.valid, "read of invalid register");
+        dpu_assert(r.arrivesAt <= now,
+                   "pipeline hazard: data still in flight");
+        return r.value;
+    }
+
+    /** Clear a valid bit (valid_rst semantics). */
+    void
+    freeReg(uint32_t bank, uint32_t addr)
+    {
+        Reg &r = banks[bank][addr];
+        dpu_assert(r.valid, "valid_rst of an empty register");
+        r.valid = false;
+    }
+
+    /** Automatic write: priority-encode the lowest free address. */
+    void
+    writeReg(uint32_t bank, double value, uint32_t latency)
+    {
+        auto &regs = banks[bank];
+        for (uint32_t a = 0; a < cfg.regsPerBank; ++a) {
+            if (!regs[a].valid) {
+                regs[a] = {true, value, now + latency};
+                ++stats.bankWrites;
+                return;
+            }
+        }
+        dpu_panic("write to a full register bank");
+    }
+
+    void
+    sampleOccupancy()
+    {
+        if (!opts.traceOccupancy || now % opts.traceInterval)
+            return;
+        std::vector<uint32_t> row(cfg.banks);
+        for (uint32_t b = 0; b < cfg.banks; ++b) {
+            uint32_t live = 0;
+            for (const Reg &r : banks[b])
+                live += r.valid;
+            row[b] = live;
+        }
+        stats.occupancyTrace.push_back(std::move(row));
+    }
+
+    void
+    trackPeak()
+    {
+        uint64_t live = 0;
+        for (uint32_t b = 0; b < cfg.banks; ++b)
+            for (const Reg &r : banks[b])
+                live += r.valid;
+        stats.peakLiveRegisters = std::max(stats.peakLiveRegisters, live);
+    }
+
+    void
+    issue(const Instruction &instr)
+    {
+        ++stats.kindCount[static_cast<size_t>(kindOf(instr))];
+        stats.instrBitsFetched += lay.lengthBits(instr);
+        sampleOccupancy();
+        std::visit([&](const auto &in) { exec(in); }, instr);
+        trackPeak();
+    }
+
+    void exec(const NopInstr &) {}
+
+    void
+    exec(const LoadInstr &in)
+    {
+        dpu_assert(in.memRow < mem.size(), "load row out of range");
+        ++stats.memReads;
+        for (uint32_t b = 0; b < cfg.banks; ++b)
+            if (in.enable[b])
+                writeReg(b, mem[in.memRow][b], 2);
+    }
+
+    void
+    exec(const StoreInstr &in)
+    {
+        dpu_assert(in.memRow < mem.size(), "store row out of range");
+        ++stats.memWrites;
+        for (uint32_t b = 0; b < cfg.banks; ++b) {
+            if (!in.enable[b])
+                continue;
+            double v = readReg(b, in.readAddr[b]);
+            ++stats.bankReads;
+            freeReg(b, in.readAddr[b]); // stores are final reads
+            mem[in.memRow][b] = v;
+        }
+    }
+
+    void
+    exec(const Store4Instr &in)
+    {
+        dpu_assert(in.memRow < mem.size(), "store_4 row out of range");
+        ++stats.memWrites;
+        for (const auto &s : in.slots) {
+            if (!s.active)
+                continue;
+            double v = readReg(s.bank, s.addr);
+            ++stats.bankReads;
+            freeReg(s.bank, s.addr);
+            mem[in.memRow][s.bank] = v;
+        }
+    }
+
+    void
+    exec(const Copy4Instr &in)
+    {
+        // Reads first, then valid_rst, then the automatic writes —
+        // the issue-stage ordering contract shared with the compiler.
+        double vals[4];
+        for (size_t k = 0; k < 4; ++k) {
+            if (!in.slots[k].active)
+                continue;
+            vals[k] = readReg(in.slots[k].srcBank, in.slots[k].srcAddr);
+            ++stats.bankReads;
+            ++stats.crossbarTransfers;
+        }
+        for (uint32_t b = 0; b < cfg.banks; ++b) {
+            if (!in.validRst[b])
+                continue;
+            // valid_rst frees the register this copy read in bank b.
+            for (const auto &s : in.slots)
+                if (s.active && s.srcBank == b)
+                    freeReg(b, s.srcAddr);
+        }
+        for (size_t k = 0; k < 4; ++k)
+            if (in.slots[k].active)
+                writeReg(in.slots[k].dstBank, vals[k], 2);
+    }
+
+    void
+    exec(const ExecInstr &in)
+    {
+        // 1. Gather tree input ports through the crossbar. Only ports
+        // an active PE consumes are read (an idle port's select is a
+        // don't-care and may point at garbage).
+        std::vector<double> port_val(cfg.banks, 0.0);
+        std::set<uint32_t> banks_read;
+        auto read_port = [&](uint32_t tree, uint32_t local) {
+            uint32_t port = cfg.portBank(tree, local);
+            uint32_t bank = in.inputSel[port];
+            dpu_assert(bank < cfg.banks, "bad crossbar select");
+            port_val[port] = readReg(bank, in.readAddr[bank]);
+            banks_read.insert(bank);
+            ++stats.crossbarTransfers;
+        };
+
+        // 2. Evaluate the trees layer by layer.
+        // peOut[pe] = output value of each active PE.
+        std::vector<double> pe_out(cfg.numPes(), 0.0);
+        for (uint32_t t = 0; t < cfg.trees(); ++t) {
+            for (uint32_t l = 1; l <= cfg.depth; ++l) {
+                for (uint32_t i = 0; i < cfg.pesInLayer(l); ++i) {
+                    uint32_t pe = cfg.peId({t, l, i});
+                    PeOp op = in.peOp[pe];
+                    if (op == PeOp::Nop)
+                        continue;
+                    double a, b;
+                    auto input_of = [&](uint32_t side) -> double {
+                        if (l == 1) {
+                            read_port(t, i * 2 + side);
+                            return port_val[cfg.portBank(t, i * 2 + side)];
+                        }
+                        uint32_t child = cfg.peId({t, l - 1,
+                                                   i * 2 + side});
+                        dpu_assert(in.peOp[child] != PeOp::Nop,
+                                   "active PE fed by idle child");
+                        return pe_out[child];
+                    };
+                    switch (op) {
+                      case PeOp::Add:
+                        a = input_of(0);
+                        b = input_of(1);
+                        pe_out[pe] = a + b;
+                        ++stats.peOperations;
+                        break;
+                      case PeOp::Mul:
+                        a = input_of(0);
+                        b = input_of(1);
+                        pe_out[pe] = a * b;
+                        ++stats.peOperations;
+                        break;
+                      case PeOp::PassA:
+                        pe_out[pe] = input_of(0);
+                        ++stats.pePassThroughs;
+                        break;
+                      case PeOp::PassB:
+                        pe_out[pe] = input_of(1);
+                        ++stats.pePassThroughs;
+                        break;
+                      case PeOp::Nop:
+                        break;
+                    }
+                }
+            }
+        }
+        stats.bankReads += banks_read.size();
+
+        // 3. valid_rst lanes free the registers read this cycle.
+        for (uint32_t b = 0; b < cfg.banks; ++b) {
+            if (!in.validRst[b])
+                continue;
+            dpu_assert(banks_read.count(b),
+                       "valid_rst on a bank this exec did not read");
+            freeReg(b, in.readAddr[b]);
+        }
+
+        // 4. Output interconnect: one write per enabled bank, from
+        // the PE the bank's output mux selects.
+        for (uint32_t b = 0; b < cfg.banks; ++b) {
+            if (!in.writeEnable[b])
+                continue;
+            auto writers = writingPes(cfg, b);
+            dpu_assert(in.outputSel[b] < writers.size(),
+                       "output mux select out of range");
+            uint32_t pe = writers[in.outputSel[b]];
+            dpu_assert(in.peOp[pe] != PeOp::Nop,
+                       "store-back from an idle PE");
+            writeReg(b, pe_out[pe], cfg.pipelineStages());
+        }
+    }
+
+    const CompiledProgram &prog;
+    const SimOptions &opts;
+    const ArchConfig &cfg;
+    IsaLayout lay;
+
+    std::vector<std::vector<Reg>> banks;
+    std::vector<std::vector<double>> mem;
+    SimStats stats;
+    uint64_t now = 0;
+};
+
+} // namespace
+
+Machine::Machine(const CompiledProgram &program, SimOptions options)
+    : prog(program), opts(options)
+{
+    prog.cfg.check();
+}
+
+SimResult
+Machine::run(const std::vector<double> &input_values)
+{
+    return Engine(prog, opts).run(input_values);
+}
+
+SimResult
+runAndCheck(const CompiledProgram &program, const Dag &dag,
+            const std::vector<double> &input_values, SimOptions options)
+{
+    Machine m(program, options);
+    SimResult res = m.run(input_values);
+
+    // Reference: evaluate the same binarized DAG the compiler saw.
+    BinarizeResult bin = binarize(dag);
+    auto ref = evaluate(bin.dag, input_values);
+
+    dpu_assert(res.outputs.size() == program.outputs.size(),
+               "output count mismatch");
+    for (size_t k = 0; k < program.outputs.size(); ++k) {
+        NodeId node = program.outputs[k].node;
+        double want = ref[node];
+        double got = res.outputs[k];
+        double tol = 1e-12 * std::max(1.0, std::abs(want));
+        if (std::abs(got - want) > tol) {
+            dpu_panic("functional mismatch at output node " +
+                      std::to_string(node) + ": simulator " +
+                      std::to_string(got) + " vs reference " +
+                      std::to_string(want));
+        }
+    }
+    return res;
+}
+
+} // namespace dpu

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cycle-accurate DPU-v2 simulator (substitute for the paper's RTL +
+ * Synopsys VCS flow; see DESIGN.md).
+ *
+ * Models, per cycle: instruction issue (one per cycle — the dense
+ * packing + aligning shifter of fig. 7 makes fetch stall-free), bank
+ * reads with independent addresses, the input crossbar, the PE trees
+ * with their D+1-stage pipeline, the restricted output interconnect,
+ * automatic write-address generation via per-register valid bits
+ * (fig. 5(d)), and the vector load/store path to data memory.
+ *
+ * The simulator *checks* rather than tolerates hazards: reading a
+ * register whose data is still in flight, reading an invalid
+ * register, or writing a full bank is a panic — the compiler is
+ * required to produce hazard-free code, and the simulator is the
+ * instrument that proves it.
+ */
+
+#ifndef DPU_SIM_MACHINE_HH
+#define DPU_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/isa.hh"
+#include "compiler/program.hh"
+
+namespace dpu {
+
+/** Event counts accumulated during simulation (feed the energy model). */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    std::array<uint64_t, 6> kindCount{}; ///< Issued, by InstrKind.
+
+    uint64_t bankReads = 0;      ///< Register-bank read accesses.
+    uint64_t bankWrites = 0;     ///< Register-bank write accesses.
+    uint64_t peOperations = 0;   ///< Add/Mul ops executed (incl. replicas).
+    uint64_t pePassThroughs = 0; ///< Pass ops executed.
+    uint64_t crossbarTransfers = 0; ///< Words moved through the input net.
+    uint64_t memReads = 0;       ///< Data-memory row reads.
+    uint64_t memWrites = 0;      ///< Data-memory row writes.
+    uint64_t instrBitsFetched = 0; ///< Instruction-memory traffic.
+
+    /** Peak over cycles of total live registers. */
+    uint64_t peakLiveRegisters = 0;
+
+    /** Per-bank occupancy trace, sampled every `traceInterval` cycles
+     *  when tracing is enabled (fig. 10(c,d)). */
+    std::vector<std::vector<uint32_t>> occupancyTrace;
+};
+
+/** Simulation options. */
+struct SimOptions
+{
+    bool traceOccupancy = false;
+    uint32_t traceInterval = 16;
+};
+
+/** Result of a run: per-node output values, in program.outputs order. */
+struct SimResult
+{
+    std::vector<double> outputs;
+    SimStats stats;
+};
+
+/** The machine. */
+class Machine
+{
+  public:
+    explicit Machine(const CompiledProgram &program,
+                     SimOptions options = {});
+
+    /**
+     * Execute the program on one input vector (one value per DAG
+     * input, in input-id order — same convention as dpu::evaluate).
+     */
+    SimResult run(const std::vector<double> &input_values);
+
+  private:
+    const CompiledProgram &prog;
+    SimOptions opts;
+};
+
+/**
+ * Convenience: simulate and compare against the golden evaluator.
+ * Panics (with a diagnostic) on any mismatch beyond tolerance.
+ * @return the simulation result.
+ */
+class Dag;
+SimResult runAndCheck(const CompiledProgram &program, const Dag &dag,
+                      const std::vector<double> &input_values,
+                      SimOptions options = {});
+
+} // namespace dpu
+
+#endif // DPU_SIM_MACHINE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dynamic bit vector with a find-first-zero primitive.
+ *
+ * Models the per-register valid bits of a DPU-v2 register bank: the
+ * automatic write policy needs "lowest free address", i.e. the index of
+ * the first zero bit (the hardware priority encoder of fig. 5(d)).
+ */
+
+#ifndef DPU_SUPPORT_BITVEC_HH
+#define DPU_SUPPORT_BITVEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "logging.hh"
+
+namespace dpu {
+
+/** Fixed-size bit vector backed by 64-bit words. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    explicit BitVec(size_t n, bool value = false)
+        : numBits(n),
+          words((n + 63) / 64, value ? ~uint64_t(0) : uint64_t(0))
+    {
+        trimTail();
+    }
+
+    size_t size() const { return numBits; }
+
+    bool
+    get(size_t i) const
+    {
+        dpu_assert(i < numBits, "BitVec::get out of range");
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(size_t i, bool value = true)
+    {
+        dpu_assert(i < numBits, "BitVec::set out of range");
+        uint64_t mask = uint64_t(1) << (i & 63);
+        if (value)
+            words[i >> 6] |= mask;
+        else
+            words[i >> 6] &= ~mask;
+    }
+
+    void clear(size_t i) { set(i, false); }
+
+    /** Number of set bits. */
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /**
+     * Index of the lowest zero bit (the priority-encoder output), or
+     * size() if every bit is set (bank full).
+     */
+    size_t
+    firstZero() const
+    {
+        for (size_t wi = 0; wi < words.size(); ++wi) {
+            uint64_t inv = ~words[wi];
+            if (wi + 1 == words.size())
+                inv &= tailMask();
+            if (inv) {
+                size_t bit = static_cast<size_t>(__builtin_ctzll(inv));
+                size_t idx = wi * 64 + bit;
+                return idx < numBits ? idx : numBits;
+            }
+        }
+        return numBits;
+    }
+
+    /** True if no bit is set. */
+    bool
+    none() const
+    {
+        for (uint64_t w : words)
+            if (w)
+                return false;
+        return true;
+    }
+
+    void
+    reset()
+    {
+        for (uint64_t &w : words)
+            w = 0;
+    }
+
+    bool operator==(const BitVec &other) const = default;
+
+  private:
+    /** Mask of in-range bits within the last word. */
+    uint64_t
+    tailMask() const
+    {
+        size_t rem = numBits & 63;
+        return rem ? ((uint64_t(1) << rem) - 1) : ~uint64_t(0);
+    }
+
+    /** Clear any bits beyond numBits so count()/none() stay exact. */
+    void
+    trimTail()
+    {
+        if (!words.empty())
+            words.back() &= tailMask();
+    }
+
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace dpu
+
+#endif // DPU_SUPPORT_BITVEC_HH

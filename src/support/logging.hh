@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting and assertion helpers shared by every dpu module.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user-facing
+ * configuration errors the caller can fix.
+ */
+
+#ifndef DPU_SUPPORT_LOGGING_HH
+#define DPU_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dpu {
+
+/** Exception thrown for user-facing configuration/usage errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Assemble a "file:line: message" string for the error exceptions. */
+inline std::string
+formatMessage(const char *kind, const char *file, int line,
+              const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " at " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace dpu
+
+/** Abort with an internal-bug diagnostic. Use for "cannot happen" states. */
+#define dpu_panic(msg)                                                       \
+    throw ::dpu::PanicError(                                                 \
+        ::dpu::detail::formatMessage("panic", __FILE__, __LINE__, (msg)))
+
+/** Abort with a user-error diagnostic. Use for bad inputs/configs. */
+#define dpu_fatal(msg)                                                       \
+    throw ::dpu::FatalError(                                                 \
+        ::dpu::detail::formatMessage("fatal", __FILE__, __LINE__, (msg)))
+
+/**
+ * Always-on invariant check. Unlike <cassert>, stays active in release
+ * builds; the compiler and simulator lean on these checks for
+ * cross-validation, so they must not be compiled out.
+ */
+#define dpu_assert(cond, msg)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            dpu_panic(std::string("assertion `" #cond "` failed: ") +        \
+                      (msg));                                                \
+        }                                                                    \
+    } while (0)
+
+#endif // DPU_SUPPORT_LOGGING_HH

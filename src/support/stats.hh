@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight summary statistics used across benches and the DSE.
+ */
+
+#ifndef DPU_SUPPORT_STATS_HH
+#define DPU_SUPPORT_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "logging.hh"
+
+namespace dpu {
+
+/** Streaming min/max/mean/stddev accumulator. */
+class Summary
+{
+  public:
+    void
+    add(double x)
+    {
+        n += 1;
+        sum += x;
+        sumSq += x * x;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+
+    size_t count() const { return n; }
+    double total() const { return sum; }
+
+    double
+    mean() const
+    {
+        dpu_assert(n > 0, "Summary::mean of empty set");
+        return sum / static_cast<double>(n);
+    }
+
+    double
+    stddev() const
+    {
+        dpu_assert(n > 0, "Summary::stddev of empty set");
+        double m = mean();
+        double var = sumSq / static_cast<double>(n) - m * m;
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    double min() const { return lo; }
+    double max() const { return hi; }
+
+  private:
+    size_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric mean of a set of positive values (speedup aggregation). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    dpu_assert(!xs.empty(), "geomean of empty set");
+    double acc = 0.0;
+    for (double x : xs) {
+        dpu_assert(x > 0, "geomean needs positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace dpu
+
+#endif // DPU_SUPPORT_STATS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Aligned plain-text table printing for the bench binaries.
+ *
+ * Every bench regenerates one table/figure of the paper as rows of text;
+ * TablePrinter keeps that output readable and diffable, and can also
+ * emit CSV for plotting.
+ */
+
+#ifndef DPU_SUPPORT_TABLE_HH
+#define DPU_SUPPORT_TABLE_HH
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace dpu {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header)
+        : columns(std::move(header))
+    {}
+
+    /** Start a new row. Use cell()/num() to fill it. */
+    TablePrinter &
+    row()
+    {
+        dpu_assert(rows.empty() || rows.back().size() == columns.size(),
+                   "previous row incomplete");
+        rows.emplace_back();
+        return *this;
+    }
+
+    TablePrinter &
+    cell(const std::string &s)
+    {
+        dpu_assert(!rows.empty(), "row() must be called before cell()");
+        dpu_assert(rows.back().size() < columns.size(), "row overflow");
+        rows.back().push_back(s);
+        return *this;
+    }
+
+    /** Add a numeric cell with a fixed number of decimals. */
+    TablePrinter &
+    num(double value, int decimals = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(decimals) << value;
+        return cell(os.str());
+    }
+
+    /** Add an integer cell. */
+    TablePrinter &
+    num(long long value)
+    {
+        return cell(std::to_string(value));
+    }
+
+    /** Print the table, column-aligned, to `out`. */
+    void
+    print(std::ostream &out = std::cout) const
+    {
+        std::vector<size_t> widths(columns.size());
+        for (size_t c = 0; c < columns.size(); ++c)
+            widths[c] = columns[c].size();
+        for (const auto &r : rows)
+            for (size_t c = 0; c < r.size(); ++c)
+                widths[c] = std::max(widths[c], r[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (size_t c = 0; c < r.size(); ++c) {
+                out << std::left << std::setw(static_cast<int>(widths[c]))
+                    << r[c];
+                out << (c + 1 == r.size() ? "" : "  ");
+            }
+            out << "\n";
+        };
+
+        print_row(columns);
+        std::string rule;
+        for (size_t c = 0; c < columns.size(); ++c) {
+            rule += std::string(widths[c], '-');
+            if (c + 1 != columns.size())
+                rule += "  ";
+        }
+        out << rule << "\n";
+        for (const auto &r : rows)
+            print_row(r);
+    }
+
+    /** Print as CSV (for plotting scripts). */
+    void
+    printCsv(std::ostream &out) const
+    {
+        auto csv_row = [&](const std::vector<std::string> &r) {
+            for (size_t c = 0; c < r.size(); ++c)
+                out << r[c] << (c + 1 == r.size() ? "" : ",");
+            out << "\n";
+        };
+        csv_row(columns);
+        for (const auto &r : rows)
+            csv_row(r);
+    }
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dpu
+
+#endif // DPU_SUPPORT_TABLE_HH

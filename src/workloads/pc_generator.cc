@@ -1,0 +1,155 @@
+#include "workloads/pc_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace dpu {
+
+Dag
+generatePc(const PcParams &params)
+{
+    dpu_assert(params.depth >= 1, "PC needs at least one layer");
+    dpu_assert(params.targetOperations >= params.depth,
+               "need at least one node per layer");
+
+    Rng rng(params.seed);
+    Dag dag;
+
+    const size_t n = params.targetOperations;
+    const size_t depth = params.depth;
+    const size_t num_inputs =
+        params.numInputs ? params.numInputs : std::max<size_t>(8, n / 8);
+
+    std::vector<NodeId> inputs;
+    inputs.reserve(num_inputs);
+    for (size_t i = 0; i < num_inputs; ++i)
+        inputs.push_back(dag.addInput());
+
+    // Layer widths: flat through most of the circuit, tapering
+    // geometrically over the last few layers toward a narrow top the
+    // way learned circuits funnel into the root. Then fix up rounding
+    // so widths sum to exactly n.
+    std::vector<size_t> width(depth, 0);
+    {
+        std::vector<double> weight(depth, 1.0);
+        size_t taper = std::min<size_t>(depth, 6);
+        for (size_t k = 0; k < taper; ++k)
+            weight[depth - 1 - k] = std::pow(0.5, taper - k);
+        double total = 0;
+        for (double w : weight)
+            total += w;
+        size_t assigned = 0;
+        for (size_t k = 0; k < depth; ++k) {
+            width[k] = std::max<size_t>(
+                1, static_cast<size_t>(weight[k] / total *
+                                       static_cast<double>(n)));
+            assigned += width[k];
+        }
+        // Distribute the rounding slack over the widest layers.
+        while (assigned < n) {
+            size_t k = rng.below(depth);
+            ++width[k];
+            ++assigned;
+        }
+        while (assigned > n) {
+            size_t k = rng.below(depth);
+            if (width[k] > 1) {
+                --width[k];
+                --assigned;
+            }
+        }
+    }
+
+    // prev = nodes of the previous layer; consumed[i] marks which of
+    // them already feed someone (used to avoid spurious sinks).
+    std::vector<NodeId> prev = inputs;
+    std::vector<NodeId> older; // all nodes below the previous layer
+    std::vector<size_t> unconsumed; // indices into prev
+
+    for (size_t layer = 0; layer < depth; ++layer) {
+        OpType op = (layer % 2 == 0) ? OpType::Mul : OpType::Add;
+        std::vector<NodeId> cur;
+        cur.reserve(width[layer]);
+
+        unconsumed.resize(prev.size());
+        for (size_t i = 0; i < prev.size(); ++i)
+            unconsumed[i] = i;
+        rng.shuffle(unconsumed);
+
+        for (size_t j = 0; j < width[layer]; ++j) {
+            // First operand: from the layer directly below, preferring
+            // a not-yet-consumed node (keeps the sink count low and
+            // guarantees the node's ASAP level equals layer + 1).
+            NodeId a;
+            if (!unconsumed.empty()) {
+                a = prev[unconsumed.back()];
+                unconsumed.pop_back();
+            } else {
+                a = rng.pick(prev);
+            }
+            // Second operand: long-range with some probability — this
+            // is what makes the DAG irregular. Like learned circuits,
+            // cross edges are recency-biased (a geometric window over
+            // recently created nodes) with a thin uniform tail.
+            NodeId b;
+            bool long_range = !older.empty() &&
+                rng.chance(params.crossLayerFraction);
+            if (long_range) {
+                if (rng.chance(0.9)) {
+                    size_t window = std::min<size_t>(
+                        older.size(),
+                        64 + rng.below(1 + older.size() / 8));
+                    b = older[older.size() - 1 - rng.below(window)];
+                } else {
+                    b = rng.pick(older);
+                }
+            } else if (!unconsumed.empty() && rng.chance(0.5)) {
+                b = prev[unconsumed.back()];
+                unconsumed.pop_back();
+            } else {
+                b = rng.pick(prev);
+            }
+            if (a == b)
+                b = rng.pick(prev); // avoid squaring when possible
+            cur.push_back(dag.addNode(op, {a, b}));
+        }
+        older.insert(older.end(), prev.begin(), prev.end());
+        prev = std::move(cur);
+    }
+
+    dpu_assert(dag.numOperations() == n, "generator width accounting bug");
+    return dag;
+}
+
+Dag
+generateRandomDag(size_t num_inputs, size_t num_operations, uint64_t seed)
+{
+    dpu_assert(num_inputs >= 1, "need at least one input");
+    Rng rng(seed);
+    Dag dag;
+    for (size_t i = 0; i < num_inputs; ++i)
+        dag.addInput();
+
+    for (size_t i = 0; i < num_operations; ++i) {
+        NodeId hi = static_cast<NodeId>(dag.numNodes());
+        // Bias operand choice toward recent nodes to create depth, but
+        // keep a uniform component for long-range irregularity.
+        auto pick = [&]() -> NodeId {
+            if (rng.chance(0.5)) {
+                uint64_t window = std::min<uint64_t>(hi, 16);
+                return static_cast<NodeId>(hi - 1 - rng.below(window));
+            }
+            return static_cast<NodeId>(rng.below(hi));
+        };
+        NodeId a = pick();
+        NodeId b = pick();
+        OpType op = rng.chance(0.5) ? OpType::Add : OpType::Mul;
+        dag.addNode(op, {a, b});
+    }
+    return dag;
+}
+
+} // namespace dpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Synthetic probabilistic-circuit (sum-product network) generator.
+ *
+ * Real PCs (PSDDs learned from density-estimation benchmarks) are
+ * layered DAGs of alternating sum and product nodes over a pool of
+ * leaf inputs, with seemingly-random cross-layer edges. The generator
+ * produces binary DAGs with a target operation count and a target
+ * longest path, which are the two structural properties Table I
+ * characterizes and the only ones the compiler/hardware depend on.
+ */
+
+#ifndef DPU_WORKLOADS_PC_GENERATOR_HH
+#define DPU_WORKLOADS_PC_GENERATOR_HH
+
+#include <cstdint>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Parameters of the synthetic PC. */
+struct PcParams
+{
+    size_t targetOperations = 10000; ///< Compute nodes to generate.
+    size_t depth = 32;               ///< Longest path (layers).
+    size_t numInputs = 0;            ///< 0 => targetOperations / 8.
+    double crossLayerFraction = 0.35;///< P(2nd operand is long-range).
+    uint64_t seed = 1;
+};
+
+/**
+ * Generate a synthetic PC.
+ *
+ * Guarantees: the result is binary, has exactly `targetOperations`
+ * compute nodes (as long as depth <= targetOperations), alternates
+ * Add (sum) and Mul (product) layers, and has longest path exactly
+ * `depth` (every node has one operand in the layer directly below).
+ */
+Dag generatePc(const PcParams &params);
+
+/**
+ * Fully random binary DAG for property-based compiler tests: no layer
+ * discipline, arbitrary skew, mixed fanout — deliberately nastier than
+ * the structured workloads.
+ */
+Dag generateRandomDag(size_t num_inputs, size_t num_operations,
+                      uint64_t seed);
+
+} // namespace dpu
+
+#endif // DPU_WORKLOADS_PC_GENERATOR_HH

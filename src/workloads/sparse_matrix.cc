@@ -1,0 +1,234 @@
+#include "workloads/sparse_matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+SparseMatrixCsr
+SparseMatrixCsr::fromTriplets(uint32_t dim, std::vector<Triplet> triplets)
+{
+    for (const Triplet &t : triplets)
+        dpu_assert(t.row < dim && t.col < dim, "triplet out of range");
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    SparseMatrixCsr m;
+    m.n = dim;
+    m.rowPtr.assign(1, 0);
+    uint32_t cur_row = 0;
+    for (size_t i = 0; i < triplets.size(); ++i) {
+        // Merge duplicates by summation.
+        double v = triplets[i].value;
+        while (i + 1 < triplets.size() &&
+               triplets[i + 1].row == triplets[i].row &&
+               triplets[i + 1].col == triplets[i].col) {
+            v += triplets[i + 1].value;
+            ++i;
+        }
+        while (cur_row < triplets[i].row) {
+            m.rowPtr.push_back(m.cols.size());
+            ++cur_row;
+        }
+        m.cols.push_back(triplets[i].col);
+        m.vals.push_back(v);
+    }
+    while (cur_row < dim) {
+        m.rowPtr.push_back(m.cols.size());
+        ++cur_row;
+    }
+    return m;
+}
+
+bool
+SparseMatrixCsr::isLowerTriangular() const
+{
+    for (uint32_t r = 0; r < n; ++r)
+        for (size_t k = rowBegin(r); k < rowEnd(r); ++k)
+            if (cols[k] > r)
+                return false;
+    return true;
+}
+
+double
+SparseMatrixCsr::at(uint32_t r, uint32_t c) const
+{
+    dpu_assert(r < n && c < n, "index out of range");
+    for (size_t k = rowBegin(r); k < rowEnd(r); ++k)
+        if (cols[k] == c)
+            return vals[k];
+    return 0.0;
+}
+
+size_t
+SparseMatrixCsr::dependencyDepth() const
+{
+    std::vector<size_t> depth(n, 1);
+    size_t best = n ? 1 : 0;
+    for (uint32_t r = 0; r < n; ++r) {
+        for (size_t k = rowBegin(r); k < rowEnd(r); ++k) {
+            uint32_t c = cols[k];
+            if (c < r)
+                depth[r] = std::max(depth[r], depth[c] + 1);
+        }
+        best = std::max(best, depth[r]);
+    }
+    return best;
+}
+
+SparseMatrixCsr
+makeLowerTriangular(const LowerTriangularParams &params)
+{
+    dpu_assert(params.dim >= params.depthLevels,
+               "dim must be >= depthLevels");
+    dpu_assert(params.depthLevels >= 1, "need at least one level");
+    Rng rng(params.seed);
+
+    const uint32_t n = params.dim;
+    const uint32_t levels = params.depthLevels;
+
+    // Assign each row a level; rows of level 0 have no off-diagonal
+    // entries. Level k rows get one "chain" dependency on a level k-1
+    // row plus random dependencies on rows of strictly lower level.
+    // Keep level populations roughly equal.
+    std::vector<uint32_t> level_of(n);
+    for (uint32_t r = 0; r < n; ++r)
+        level_of[r] = static_cast<uint32_t>(
+            (static_cast<uint64_t>(r) * levels) / n);
+
+    std::vector<std::vector<uint32_t>> rows_of_level(levels);
+    for (uint32_t r = 0; r < n; ++r)
+        rows_of_level[level_of[r]].push_back(r);
+    for (uint32_t l = 0; l < levels; ++l)
+        dpu_assert(!rows_of_level[l].empty(), "empty level");
+
+    auto nonzero_value = [&]() {
+        // Away from zero to keep substitution well-conditioned.
+        double mag = 0.25 + rng.uniform();
+        return rng.chance(0.5) ? mag : -mag;
+    };
+
+    std::vector<Triplet> trips;
+    for (uint32_t r = 0; r < n; ++r) {
+        uint32_t lvl = level_of[r];
+        trips.push_back({r, r, 1.0 + rng.uniform()}); // diagonal
+        if (lvl == 0)
+            continue;
+        // Chain dependency: pick a row from the level right below and
+        // below r in index (levels are monotone in row index, so any
+        // level lvl-1 row has a smaller index).
+        uint32_t chain = rng.pick(rows_of_level[lvl - 1]);
+        trips.push_back({r, chain, nonzero_value()});
+        // Random extra dependencies on strictly earlier rows of
+        // strictly lower levels. Real sparse matrices (FEM meshes,
+        // Markov chains, ...) are strongly banded: most nonzeros sit
+        // near the diagonal. Model that with a geometric recency
+        // bias plus a small uniform long-range tail.
+        double extra = params.avgOffDiagonal - 1.0;
+        uint32_t count = static_cast<uint32_t>(extra);
+        if (rng.uniform() < extra - count)
+            ++count;
+        for (uint32_t e = 0; e < count; ++e) {
+            uint32_t src_lvl;
+            if (rng.chance(0.9)) {
+                uint32_t back = 1;
+                while (back < lvl && rng.chance(0.5))
+                    ++back;
+                src_lvl = lvl - back;
+            } else {
+                src_lvl = static_cast<uint32_t>(rng.below(lvl));
+            }
+            uint32_t lo = rng.pick(rows_of_level[src_lvl]);
+            if (lo != chain)
+                trips.push_back({r, lo, nonzero_value()});
+        }
+    }
+    return SparseMatrixCsr::fromTriplets(n, std::move(trips));
+}
+
+void
+writeMatrixMarket(const SparseMatrixCsr &m, std::ostream &out)
+{
+    out.precision(17); // round-trippable doubles
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.dim() << " " << m.dim() << " " << m.nnz() << "\n";
+    for (uint32_t r = 0; r < m.dim(); ++r)
+        for (size_t k = m.rowBegin(r); k < m.rowEnd(r); ++k)
+            out << (r + 1) << " " << (m.colAt(k) + 1) << " "
+                << m.valueAt(k) << "\n";
+}
+
+SparseMatrixCsr
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0)
+        dpu_fatal("missing MatrixMarket header");
+    if (line.find("coordinate") == std::string::npos ||
+        line.find("real") == std::string::npos) {
+        dpu_fatal("only 'coordinate real' MatrixMarket supported");
+    }
+    bool symmetric = line.find("symmetric") != std::string::npos;
+
+    // Skip comments.
+    do {
+        if (!std::getline(in, line))
+            dpu_fatal("truncated MatrixMarket stream");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream hs(line);
+    uint64_t rows = 0, cols = 0, entries = 0;
+    if (!(hs >> rows >> cols >> entries) || rows != cols)
+        dpu_fatal("bad MatrixMarket size line (square matrices only)");
+
+    std::vector<Triplet> trips;
+    trips.reserve(entries);
+    for (uint64_t i = 0; i < entries; ++i) {
+        uint64_t r = 0, c = 0;
+        double v = 0;
+        if (!(in >> r >> c >> v))
+            dpu_fatal("truncated MatrixMarket entries");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            dpu_fatal("MatrixMarket index out of range");
+        trips.push_back({static_cast<uint32_t>(r - 1),
+                         static_cast<uint32_t>(c - 1), v});
+        if (symmetric && r != c)
+            trips.push_back({static_cast<uint32_t>(c - 1),
+                             static_cast<uint32_t>(r - 1), v});
+    }
+    return SparseMatrixCsr::fromTriplets(static_cast<uint32_t>(rows),
+                                         std::move(trips));
+}
+
+std::vector<double>
+solveLowerTriangular(const SparseMatrixCsr &lower,
+                     const std::vector<double> &rhs)
+{
+    dpu_assert(lower.isLowerTriangular(), "matrix is not lower triangular");
+    dpu_assert(rhs.size() == lower.dim(), "rhs size mismatch");
+    std::vector<double> x(lower.dim(), 0.0);
+    for (uint32_t r = 0; r < lower.dim(); ++r) {
+        double acc = rhs[r];
+        double diag = 0.0;
+        for (size_t k = lower.rowBegin(r); k < lower.rowEnd(r); ++k) {
+            uint32_t c = lower.colAt(k);
+            if (c == r)
+                diag = lower.valueAt(k);
+            else
+                acc -= lower.valueAt(k) * x[c];
+        }
+        dpu_assert(diag != 0.0, "singular triangular matrix");
+        x[r] = acc / diag;
+    }
+    return x;
+}
+
+} // namespace dpu

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sparse-matrix substrate: CSR storage, generators, Matrix Market I/O,
+ * and a reference forward-substitution solver.
+ *
+ * The paper benchmarks SpTRSV on SuiteSparse matrices; those files are
+ * not redistributable here, so generators produce structural twins with
+ * the same dimensions/nnz/dependency-depth profile (see DESIGN.md).
+ */
+
+#ifndef DPU_WORKLOADS_SPARSE_MATRIX_HH
+#define DPU_WORKLOADS_SPARSE_MATRIX_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace dpu {
+
+/** One (row, col, value) entry. */
+struct Triplet
+{
+    uint32_t row;
+    uint32_t col;
+    double value;
+};
+
+/** Compressed-sparse-row matrix (square, general or triangular). */
+class SparseMatrixCsr
+{
+  public:
+    SparseMatrixCsr() = default;
+
+    /** Build from triplets; duplicates are summed. */
+    static SparseMatrixCsr fromTriplets(uint32_t dim,
+                                        std::vector<Triplet> triplets);
+
+    uint32_t dim() const { return n; }
+    size_t nnz() const { return cols.size(); }
+
+    /** Row r spans [rowBegin(r), rowEnd(r)) in cols()/values(). */
+    size_t rowBegin(uint32_t r) const { return rowPtr[r]; }
+    size_t rowEnd(uint32_t r) const { return rowPtr[r + 1]; }
+
+    uint32_t colAt(size_t k) const { return cols[k]; }
+    double valueAt(size_t k) const { return vals[k]; }
+
+    /** True if all entries satisfy col <= row. */
+    bool isLowerTriangular() const;
+
+    /** Value at (r, c), 0 if absent. Linear in the row length. */
+    double at(uint32_t r, uint32_t c) const;
+
+    /**
+     * Dependency depth of the lower-triangular system: length of the
+     * longest chain of rows i1 < i2 < ... where each i(k+1) has a
+     * nonzero in column i(k). This is what bounds SpTRSV parallelism.
+     */
+    size_t dependencyDepth() const;
+
+  private:
+    uint32_t n = 0;
+    std::vector<size_t> rowPtr{0};
+    std::vector<uint32_t> cols;
+    std::vector<double> vals;
+};
+
+/** Parameters for the synthetic lower-triangular generator. */
+struct LowerTriangularParams
+{
+    uint32_t dim = 1024;        ///< Matrix dimension.
+    uint32_t depthLevels = 64;  ///< Target row-dependency depth.
+    double avgOffDiagonal = 4;  ///< Mean off-diagonal nonzeros per row.
+    uint64_t seed = 1;
+};
+
+/**
+ * Generate a nonsingular sparse lower-triangular matrix whose
+ * row-dependency graph has depth exactly `depthLevels` (rows are
+ * assigned levels; each row depends on at least one row of the level
+ * below plus random rows of lower levels). Diagonal entries are drawn
+ * away from zero so forward substitution is well-conditioned.
+ */
+SparseMatrixCsr makeLowerTriangular(const LowerTriangularParams &params);
+
+/** Write in MatrixMarket coordinate format ("%%MatrixMarket ..."). */
+void writeMatrixMarket(const SparseMatrixCsr &m, std::ostream &out);
+
+/** Read MatrixMarket coordinate format (general real matrices). */
+SparseMatrixCsr readMatrixMarket(std::istream &in);
+
+/**
+ * Reference forward substitution: solve L x = b for lower-triangular L.
+ * Golden model for the SpTRSV DAG lowering.
+ */
+std::vector<double> solveLowerTriangular(const SparseMatrixCsr &lower,
+                                         const std::vector<double> &rhs);
+
+} // namespace dpu
+
+#endif // DPU_WORKLOADS_SPARSE_MATRIX_HH

@@ -1,0 +1,96 @@
+#include "workloads/sptrsv.hh"
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+SpTrsvDag
+buildSpTrsvDag(const SparseMatrixCsr &lower)
+{
+    dpu_assert(lower.isLowerTriangular(), "matrix is not lower triangular");
+    SpTrsvDag out;
+
+    const uint32_t n = lower.dim();
+    out.solution.assign(n, invalidNode);
+
+    for (uint32_t r = 0; r < n; ++r) {
+        // b'_r input.
+        NodeId rhs = out.dag.addInput();
+        out.inputs.push_back(
+            {SpTrsvDag::InputDesc::Kind::Rhs, r, 0});
+
+        // One product c_rj * x_j per off-diagonal nonzero.
+        std::vector<NodeId> terms{rhs};
+        bool has_diag = false;
+        for (size_t k = lower.rowBegin(r); k < lower.rowEnd(r); ++k) {
+            uint32_t c = lower.colAt(k);
+            if (c == r) {
+                dpu_assert(lower.valueAt(k) != 0.0,
+                           "zero diagonal in triangular matrix");
+                has_diag = true;
+                continue;
+            }
+            NodeId coeff = out.dag.addInput();
+            out.inputs.push_back(
+                {SpTrsvDag::InputDesc::Kind::Coeff, r, c});
+            dpu_assert(out.solution[c] != invalidNode,
+                       "dependency on unsolved row");
+            terms.push_back(
+                out.dag.addNode(OpType::Mul, {coeff, out.solution[c]}));
+        }
+        dpu_assert(has_diag, "missing diagonal entry");
+
+        if (terms.size() == 1) {
+            // Row with no off-diagonal entries: x_r = b'_r directly.
+            out.solution[r] = rhs;
+            continue;
+        }
+        // Balanced binary reduction keeps the added depth logarithmic.
+        std::vector<NodeId> live = std::move(terms);
+        while (live.size() > 1) {
+            std::vector<NodeId> next;
+            next.reserve((live.size() + 1) / 2);
+            for (size_t i = 0; i + 1 < live.size(); i += 2)
+                next.push_back(
+                    out.dag.addNode(OpType::Add, {live[i], live[i + 1]}));
+            if (live.size() % 2 == 1)
+                next.push_back(live.back());
+            live = std::move(next);
+        }
+        out.solution[r] = live[0];
+    }
+    return out;
+}
+
+std::vector<double>
+sptrsvInputValues(const SpTrsvDag &lowered, const SparseMatrixCsr &lower,
+                  const std::vector<double> &rhs)
+{
+    dpu_assert(rhs.size() == lower.dim(), "rhs size mismatch");
+    std::vector<double> values;
+    values.reserve(lowered.inputs.size());
+    for (const auto &d : lowered.inputs) {
+        double diag = lower.at(d.row, d.row);
+        dpu_assert(diag != 0.0, "zero diagonal");
+        if (d.kind == SpTrsvDag::InputDesc::Kind::Rhs)
+            values.push_back(rhs[d.row] / diag);
+        else
+            values.push_back(-lower.at(d.row, d.col) / diag);
+    }
+    return values;
+}
+
+std::vector<double>
+sptrsvSolution(const SpTrsvDag &lowered,
+               const std::vector<double> &node_values)
+{
+    std::vector<double> x;
+    x.reserve(lowered.solution.size());
+    for (NodeId id : lowered.solution) {
+        dpu_assert(id < node_values.size(), "bad solution node");
+        x.push_back(node_values[id]);
+    }
+    return x;
+}
+
+} // namespace dpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lowering of sparse triangular solves (SpTRSV) to computation DAGs.
+ *
+ * Forward substitution
+ *
+ *     x_i = (b_i - sum_{j<i} L_ij * x_j) / L_ii
+ *
+ * is rewritten with precomputed coefficients so only Add/Mul remain
+ * (the PE datapath supports + and x, paper §III-A):
+ *
+ *     x_i = b'_i + sum_j (c_ij * x_j),   b'_i = b_i / L_ii,
+ *                                        c_ij = -L_ij / L_ii.
+ *
+ * The sparsity pattern is static across solves; only b (and possibly
+ * the numeric values) change, which "effectively only changes the
+ * inputs of the DAG" (paper §I) — exactly the static-DAG assumption
+ * DPU-v2 compilation relies on.
+ */
+
+#ifndef DPU_WORKLOADS_SPTRSV_HH
+#define DPU_WORKLOADS_SPTRSV_HH
+
+#include <vector>
+
+#include "dag/dag.hh"
+#include "workloads/sparse_matrix.hh"
+
+namespace dpu {
+
+/** A SpTRSV compute DAG plus the mapping back to matrix coordinates. */
+struct SpTrsvDag
+{
+    /** Describes what each DAG input carries. */
+    struct InputDesc
+    {
+        enum class Kind : uint8_t {
+            Rhs,  ///< b_row / L(row,row)
+            Coeff ///< -L(row,col) / L(row,row)
+        };
+        Kind kind;
+        uint32_t row;
+        uint32_t col; ///< Only meaningful for Coeff.
+    };
+
+    Dag dag;
+    std::vector<InputDesc> inputs; ///< One per DAG input, in input order.
+    std::vector<NodeId> solution;  ///< Node carrying x_i for each row i.
+};
+
+/**
+ * Build the SpTRSV DAG for a lower-triangular sparsity pattern. The
+ * resulting DAG is binary (reductions are emitted as balanced trees).
+ */
+SpTrsvDag buildSpTrsvDag(const SparseMatrixCsr &lower);
+
+/**
+ * Produce the DAG input vector for a concrete (L, b) pair, in the order
+ * expected by dpu::evaluate / the compiled program.
+ */
+std::vector<double> sptrsvInputValues(const SpTrsvDag &lowered,
+                                      const SparseMatrixCsr &lower,
+                                      const std::vector<double> &rhs);
+
+/** Extract x (one value per row) from a full node-value vector. */
+std::vector<double> sptrsvSolution(const SpTrsvDag &lowered,
+                                   const std::vector<double> &node_values);
+
+} // namespace dpu
+
+#endif // DPU_WORKLOADS_SPTRSV_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The named benchmark suite of Table I — synthetic structural twins.
+ *
+ * Each entry targets the node count and longest path the paper reports
+ * for the original benchmark (PSDDs from the UCLA StarAI model zoo and
+ * SuiteSparse matrices). Twins are generated, not copied: what the
+ * compiler and hardware react to is DAG *structure*, which the twins
+ * match (operation count, critical path, operator mix, parallelism
+ * profile). See DESIGN.md "Scope notes and substitutions".
+ */
+
+#ifndef DPU_WORKLOADS_SUITE_HH
+#define DPU_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "dag/dag.hh"
+
+namespace dpu {
+
+/** Which class of Table I a workload belongs to. */
+enum class WorkloadClass : uint8_t {
+    Pc,      ///< Table I (a): probabilistic circuits.
+    SpTrsv,  ///< Table I (b): sparse triangular solves.
+    LargePc, ///< Table I (c): large probabilistic circuits.
+};
+
+/** Printable class name ("PC", "SpTRSV", "Large PC"). */
+const char *workloadClassName(WorkloadClass cls);
+
+/** One named workload with its paper-reported statistics. */
+struct WorkloadSpec
+{
+    std::string name;
+    WorkloadClass cls;
+    size_t paperNodes;       ///< Table I "Nodes (n)".
+    size_t paperLongestPath; ///< Table I "Longest path (l)".
+    uint32_t matrixDim;      ///< SpTRSV only: matrix dimension.
+    uint64_t seed;
+};
+
+/** Table I (a): PC workloads. */
+const std::vector<WorkloadSpec> &pcSuite();
+
+/** Table I (b): SpTRSV workloads. */
+const std::vector<WorkloadSpec> &sptrsvSuite();
+
+/** Table I (c): large PC workloads. */
+const std::vector<WorkloadSpec> &largePcSuite();
+
+/** Concatenation of (a) and (b) — the DSE/throughput suite. */
+std::vector<WorkloadSpec> smallSuite();
+
+/**
+ * Generate the DAG for a workload.
+ *
+ * @param spec Which workload.
+ * @param scale Scale factor on the node count (1.0 = paper size);
+ *        benches use < 1 to keep multi-million-node runs short.
+ *        The longest path is preserved where the generator allows.
+ */
+Dag buildWorkloadDag(const WorkloadSpec &spec, double scale = 1.0);
+
+/** Look up a spec by name across all three suites. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+} // namespace dpu
+
+#endif // DPU_WORKLOADS_SUITE_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the baseline platform models and the spatial probes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hh"
+#include "compiler/spatial.hh"
+#include "dag/binarize.hh"
+#include "workloads/pc_generator.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace {
+
+Dag
+mediumPc(uint64_t seed = 7)
+{
+    PcParams p;
+    p.targetOperations = 20000;
+    p.depth = 30;
+    p.seed = seed;
+    return generatePc(p);
+}
+
+TEST(CpuModel, ThroughputInCalibratedBand)
+{
+    // Calibrated relative to our DPU-v2 absolute scale (DESIGN.md):
+    // small workloads land around 0.4-1.0 GOPS.
+    for (const auto &spec : smallSuite()) {
+        Dag d = binarize(buildWorkloadDag(spec, 0.5)).dag;
+        auto r = runCpuModel(d);
+        EXPECT_GT(r.throughputGops, 0.2) << spec.name;
+        EXPECT_LT(r.throughputGops, 1.5) << spec.name;
+        EXPECT_DOUBLE_EQ(r.powerWatts, 55);
+    }
+}
+
+TEST(CpuModel, MoreCoresHelpOnWideDags)
+{
+    Dag d = binarize(mediumPc()).dag;
+    CpuModelParams one;
+    one.cores = 1;
+    CpuModelParams many;
+    many.cores = 18;
+    EXPECT_GT(runCpuModel(d, many).throughputGops,
+              runCpuModel(d, one).throughputGops * 4);
+}
+
+TEST(CpuModel, SyncDominatesDeepNarrowDags)
+{
+    // A pure chain gains nothing from parallel cores.
+    Dag d;
+    NodeId prev = d.addInput();
+    NodeId other = d.addInput();
+    for (int i = 0; i < 4000; ++i)
+        prev = d.addNode(OpType::Add, {prev, other});
+    CpuModelParams one;
+    one.cores = 1;
+    CpuModelParams many;
+    many.cores = 18;
+    double t1 = runCpuModel(d, one).seconds;
+    double t18 = runCpuModel(d, many).seconds;
+    EXPECT_GT(t18, t1 * 0.8);
+}
+
+TEST(GpuModel, LaunchBoundOnSmallDags)
+{
+    // Below ~100K nodes the GPU underperforms the CPU (fig. 1(c)).
+    Dag d = binarize(buildWorkloadDag(findWorkload("tretail"))).dag;
+    auto gpu = runGpuModel(d);
+    auto cpu = runCpuModel(d);
+    EXPECT_LT(gpu.throughputGops, cpu.throughputGops);
+}
+
+TEST(GpuModel, CatchesUpOnHugeDags)
+{
+    PcParams p;
+    p.targetOperations = 500000;
+    p.depth = 60;
+    p.seed = 9;
+    Dag d = binarize(generatePc(p)).dag;
+    auto gpu = runGpuModel(d);
+    auto cpu = runCpuModel(d);
+    EXPECT_GT(gpu.throughputGops, cpu.throughputGops);
+}
+
+TEST(GpuModel, MoreLevelsMoreLaunchTime)
+{
+    PcParams shallow;
+    shallow.targetOperations = 10000;
+    shallow.depth = 10;
+    shallow.seed = 3;
+    PcParams deep = shallow;
+    deep.depth = 100;
+    auto a = runGpuModel(binarize(generatePc(shallow)).dag);
+    auto b = runGpuModel(binarize(generatePc(deep)).dag);
+    EXPECT_GT(a.throughputGops, b.throughputGops);
+}
+
+TEST(DpuV1Model, PlateausWithParallelism)
+{
+    Dag wide = binarize(buildWorkloadDag(findWorkload("msnbc"), 0.5)).dag;
+    Dag narrow =
+        binarize(buildWorkloadDag(findWorkload("bp_200"), 0.5)).dag;
+    auto w = runDpuV1Model(wide);
+    auto n = runDpuV1Model(narrow);
+    EXPECT_GT(w.throughputGops, n.throughputGops);
+    // Never exceeds the plateau.
+    DpuV1ModelParams p;
+    EXPECT_LE(w.throughputGops,
+              p.peakOpsPerCycle * p.frequencyHz * 1e-9 + 1e-9);
+}
+
+TEST(SpuModel, IsScaledCpuSpu)
+{
+    Dag d = binarize(mediumPc()).dag;
+    auto cpu = runCpuSpuModel(d);
+    auto spu = runSpuModel(d);
+    EXPECT_NEAR(spu.throughputGops, cpu.throughputGops * 13.3, 1e-9);
+    EXPECT_DOUBLE_EQ(spu.powerWatts, 16);
+}
+
+TEST(CpuSpu, SlightlySlowerThanGraphopt)
+{
+    Dag d = binarize(mediumPc()).dag;
+    EXPECT_LT(runCpuSpuModel(d).throughputGops,
+              runCpuModel(d).throughputGops);
+}
+
+TEST(Spatial, SystolicDegradesTreeHoldsUp)
+{
+    // fig. 3(c): the headline architectural argument.
+    Dag d = buildWorkloadDag(findWorkload("mnist"), 0.5);
+    double sys2 = systolicPeakUtilization(d, 2, 16);
+    double sys8 = systolicPeakUtilization(d, 8, 16);
+    double sys16 = systolicPeakUtilization(d, 16, 16);
+    EXPECT_DOUBLE_EQ(sys2, 1.0);
+    EXPECT_LT(sys8, 0.6);
+    EXPECT_LT(sys16, sys8 + 0.05);
+    EXPECT_GT(treePeakUtilization(d, 8), 0.85);
+    EXPECT_GT(treePeakUtilization(d, 16), 0.8);
+}
+
+TEST(Spatial, TreeUtilizationOnChainIsLow)
+{
+    // A pure chain cannot fill a tree: depth beats width.
+    Dag d;
+    NodeId prev = d.addInput();
+    NodeId other = d.addInput();
+    for (int i = 0; i < 100; ++i)
+        prev = d.addNode(OpType::Add, {prev, other});
+    EXPECT_LT(treePeakUtilization(d, 8), 0.75);
+}
+
+} // namespace
+} // namespace dpu

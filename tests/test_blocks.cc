@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for compilation step 1: block decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/blocks.hh"
+#include "compiler/partitioner.hh"
+#include "dag/algorithms.hh"
+#include "dag/binarize.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+smallConfig(uint32_t depth = 3, uint32_t banks = 16)
+{
+    ArchConfig c;
+    c.depth = depth;
+    c.banks = banks;
+    c.regsPerBank = 32;
+    return c;
+}
+
+TEST(Blocks, ChainDecomposesAndValidates)
+{
+    Dag d;
+    NodeId prev = d.addInput();
+    NodeId other = d.addInput();
+    for (int i = 0; i < 20; ++i)
+        prev = d.addNode(OpType::Add, {prev, other});
+    ArchConfig cfg = smallConfig();
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    // A pure chain cannot pack more than D nodes per block.
+    EXPECT_GE(dec.blocks.size(), 20u / cfg.depth);
+}
+
+TEST(Blocks, SingleNodeDag)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    d.addNode(OpType::Mul, {a, b});
+    ArchConfig cfg = smallConfig();
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    ASSERT_EQ(dec.blocks.size(), 1u);
+    EXPECT_EQ(dec.blocks[0].subgraphs.size(), 1u);
+}
+
+TEST(Blocks, DeepConeFillsTree)
+{
+    // A complete binary reduction over 8 inputs fits one D=3 tree.
+    Dag d;
+    std::vector<NodeId> vals;
+    for (int i = 0; i < 8; ++i)
+        vals.push_back(d.addInput());
+    while (vals.size() > 1) {
+        std::vector<NodeId> next;
+        for (size_t i = 0; i + 1 < vals.size(); i += 2)
+            next.push_back(d.addNode(OpType::Add, {vals[i], vals[i + 1]}));
+        vals = std::move(next);
+    }
+    ArchConfig cfg = smallConfig(3, 8); // exactly one tree
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    EXPECT_EQ(dec.blocks.size(), 1u);
+    EXPECT_EQ(dec.blocks[0].subgraphs[0].depth, 3u);
+    // All 7 PEs perform arithmetic.
+    uint32_t active = 0;
+    for (PeOp op : dec.blocks[0].peOps)
+        if (op == PeOp::Add || op == PeOp::Mul)
+            ++active;
+    EXPECT_EQ(active, 7u);
+}
+
+TEST(Blocks, ReplicationHandlesSharedNodes)
+{
+    // fig. 9(c): x feeds two paths inside one cone.
+    Dag d;
+    NodeId i1 = d.addInput();
+    NodeId i2 = d.addInput();
+    NodeId x = d.addNode(OpType::Add, {i1, i2});
+    NodeId y = d.addNode(OpType::Mul, {x, i1});
+    d.addNode(OpType::Add, {x, y});
+    ArchConfig cfg = smallConfig(3, 8);
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    ASSERT_EQ(dec.blocks.size(), 1u);
+    // x is replicated: placed on more than one PE.
+    EXPECT_GE(dec.blocks[0].placements.at(x).size(), 2u);
+}
+
+TEST(Blocks, PassThroughForDeepRegisterOperands)
+{
+    // A chain whose upper nodes mix register operands with tree
+    // operands forces pass-through PEs.
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s = d.addNode(OpType::Add, {a, b});
+    NodeId t = d.addNode(OpType::Mul, {s, a});
+    d.addNode(OpType::Add, {t, b});
+    ArchConfig cfg = smallConfig(3, 8);
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    ASSERT_EQ(dec.blocks.size(), 1u);
+    bool has_pass = false;
+    for (PeOp op : dec.blocks[0].peOps)
+        if (op == PeOp::PassA || op == PeOp::PassB)
+            has_pass = true;
+    EXPECT_TRUE(has_pass);
+}
+
+TEST(Blocks, IoMarksMatchConsumers)
+{
+    Dag d = generateRandomDag(12, 300, 5);
+    ArchConfig cfg = smallConfig();
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    for (NodeId v = 0; v < d.numNodes(); ++v) {
+        if (d.node(v).isInput()) {
+            EXPECT_TRUE(dec.isIo[v]);
+            continue;
+        }
+        bool crosses = d.successors(v).empty();
+        for (NodeId s : d.successors(v))
+            if (dec.blockOf[s] != dec.blockOf[v])
+                crosses = true;
+        EXPECT_EQ(dec.isIo[v], crosses) << "node " << v;
+    }
+}
+
+TEST(Blocks, BlockInputsAreIoOrInputs)
+{
+    Dag d = generateRandomDag(10, 400, 6);
+    ArchConfig cfg = smallConfig(2, 16);
+    auto dec = decomposeIntoBlocks(d, cfg);
+    for (const Block &b : dec.blocks)
+        for (NodeId v : b.inputs)
+            EXPECT_TRUE(dec.isIo[v]);
+}
+
+TEST(Blocks, UtilizationBeatsOneNodePerBlock)
+{
+    PcParams p;
+    p.targetOperations = 2000;
+    p.depth = 20;
+    p.seed = 9;
+    Dag d = generatePc(p);
+    ArchConfig cfg = smallConfig(3, 64);
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    double nodes_per_block =
+        static_cast<double>(d.numOperations()) /
+        static_cast<double>(dec.blocks.size());
+    // 64 banks = 8 trees x 7 PEs; a sane packing squeezes well over
+    // one node per exec.
+    EXPECT_GT(nodes_per_block, 4.0);
+}
+
+TEST(Blocks, RespectsTreeCount)
+{
+    Dag d = generateRandomDag(16, 500, 7);
+    ArchConfig cfg = smallConfig(1, 8); // 8 trees of a single PE
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+    for (const Block &b : dec.blocks) {
+        EXPECT_LE(b.subgraphs.size(), 8u);
+        for (const Subgraph &sg : b.subgraphs)
+            EXPECT_EQ(sg.depth, 1u);
+    }
+}
+
+TEST(Blocks, PartitionedDecompositionRespectsRanges)
+{
+    Dag raw = generateRandomDag(16, 2000, 8);
+    auto bin = binarize(raw);
+    auto parts = partitionByCount(bin.dag, 500);
+    EXPECT_GE(parts.size(), 4u);
+
+    ArchConfig cfg = smallConfig();
+    auto dec = decomposeIntoBlocks(bin.dag, cfg, 1, parts);
+    validateDecomposition(bin.dag, cfg, dec);
+
+    // Blocks must not mix partitions, and partition order must be
+    // monotone over the block sequence.
+    uint32_t last_part = 0;
+    auto part_of = [&](NodeId v) {
+        for (uint32_t p = 0; p < parts.size(); ++p)
+            if (v >= parts[p].first && v < parts[p].second)
+                return p;
+        return static_cast<uint32_t>(parts.size());
+    };
+    for (const Block &b : dec.blocks) {
+        uint32_t p = part_of(b.subgraphs[0].sink);
+        for (const Subgraph &sg : b.subgraphs)
+            for (NodeId v : sg.nodes)
+                EXPECT_EQ(part_of(v), p);
+        EXPECT_GE(p, last_part);
+        last_part = p;
+    }
+}
+
+TEST(Partitioner, CountsAndCoverage)
+{
+    Dag d = generateRandomDag(10, 1000, 9);
+    auto parts = partitionByCount(d, 256);
+    EXPECT_EQ(parts.front().first, 0u);
+    EXPECT_EQ(parts.back().second, d.numNodes());
+    for (size_t i = 1; i < parts.size(); ++i)
+        EXPECT_EQ(parts[i].first, parts[i - 1].second);
+    // Each range holds at most 256 compute nodes.
+    for (auto [lo, hi] : parts) {
+        size_t count = 0;
+        for (NodeId v = lo; v < hi; ++v)
+            if (!d.node(v).isInput())
+                ++count;
+        EXPECT_LE(count, 256u);
+    }
+    EXPECT_GT(countCrossEdges(d, parts), 0u);
+}
+
+class BlocksConfigTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{};
+
+TEST_P(BlocksConfigTest, ValidatesOnRandomDag)
+{
+    auto [depth, banks] = GetParam();
+    if (banks < (1u << depth))
+        GTEST_SKIP() << "infeasible configuration";
+    Dag d = generateRandomDag(20, 600, depth * 131 + banks);
+    ArchConfig cfg = smallConfig(depth, banks);
+    auto dec = decomposeIntoBlocks(d, cfg);
+    validateDecomposition(d, cfg, dec);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlocksConfigTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(8u, 16u, 32u, 64u)));
+
+} // namespace
+} // namespace dpu

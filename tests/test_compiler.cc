@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the compiler driver: step 4 spilling, statistics, program
+ * footprint, and end-to-end compilation of structured workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "dag/algorithms.hh"
+#include "dag/binarize.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+cfgOf(uint32_t depth, uint32_t banks, uint32_t regs)
+{
+    ArchConfig c;
+    c.depth = depth;
+    c.banks = banks;
+    c.regsPerBank = regs;
+    return c;
+}
+
+std::vector<double>
+randomInputs(const Dag &d, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(d.numInputs());
+    for (auto &x : v)
+        x = 0.5 + rng.uniform();
+    return v;
+}
+
+TEST(Compiler, TinyDagCompilesAndRuns)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId c = d.addInput();
+    NodeId s1 = d.addNode(OpType::Add, {a, b});
+    NodeId s2 = d.addNode(OpType::Add, {b, c});
+    d.addNode(OpType::Mul, {s1, s2});
+
+    ArchConfig cfg = cfgOf(2, 8, 16);
+    CompileOptions opt;
+    opt.validate = true;
+    auto prog = compile(d, cfg, opt);
+    EXPECT_GT(prog.instructions.size(), 0u);
+    EXPECT_EQ(prog.stats.numOperations, 3u);
+
+    auto res = runAndCheck(prog, d, {1.0, 2.0, 4.0});
+    ASSERT_EQ(res.outputs.size(), 1u);
+    EXPECT_DOUBLE_EQ(res.outputs[0], 18.0);
+}
+
+TEST(Compiler, MultiInputNodesAreBinarized)
+{
+    Dag d;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < 6; ++i)
+        ins.push_back(d.addInput());
+    d.addNode(OpType::Add, {ins});
+    ArchConfig cfg = cfgOf(3, 8, 16);
+    CompileOptions opt;
+    opt.validate = true;
+    auto prog = compile(d, cfg, opt);
+    auto inputs = randomInputs(d, 40);
+    runAndCheck(prog, d, inputs);
+    EXPECT_EQ(prog.stats.numOperations, 5u); // 6-input add -> 5 nodes
+}
+
+TEST(Compiler, SpillingKicksInForTinyRegisterFile)
+{
+    Dag d = generateRandomDag(32, 1200, 41);
+    ArchConfig big = cfgOf(2, 8, 128);
+    ArchConfig tiny = cfgOf(2, 8, 8);
+    CompileOptions opt;
+    opt.validate = true;
+    auto prog_big = compile(d, big, opt);
+    auto prog_tiny = compile(d, tiny, opt);
+    EXPECT_EQ(prog_big.stats.spillStores, 0u);
+    EXPECT_GT(prog_tiny.stats.spillStores, 0u);
+    EXPECT_GT(prog_tiny.stats.reloads, 0u);
+    // And both still compute the right thing.
+    auto inputs = randomInputs(d, 42);
+    runAndCheck(prog_big, d, inputs);
+    runAndCheck(prog_tiny, d, inputs);
+}
+
+TEST(Compiler, SpillingCostsCycles)
+{
+    Dag d = generateRandomDag(32, 1200, 43);
+    auto a = compile(d, cfgOf(2, 8, 128));
+    auto b = compile(d, cfgOf(2, 8, 8));
+    EXPECT_GT(b.stats.cycles, a.stats.cycles);
+}
+
+TEST(Compiler, StatsAreConsistent)
+{
+    Dag d = generateRandomDag(24, 900, 44);
+    auto prog = compile(d, cfgOf(3, 16, 32));
+    const auto &s = prog.stats;
+    uint64_t total = 0;
+    for (uint64_t k : s.kindCount)
+        total += k;
+    EXPECT_EQ(total, s.instructions);
+    EXPECT_EQ(s.instructions, prog.instructions.size());
+    EXPECT_EQ(s.cycles, s.instructions + prog.cfg.pipelineStages());
+    EXPECT_GT(s.kindCount[static_cast<size_t>(InstrKind::Exec)], 0u);
+    EXPECT_GT(s.kindCount[static_cast<size_t>(InstrKind::Load)], 0u);
+    EXPECT_GT(s.programBits, 0u);
+    EXPECT_EQ(s.numOperations, 900u);
+}
+
+TEST(Compiler, AutomaticWritePolicyShrinksPrograms)
+{
+    // §III-B: ~30% program-size reduction on average. Insist on >10%.
+    PcParams p;
+    p.targetOperations = 3000;
+    p.depth = 24;
+    p.seed = 45;
+    Dag d = generatePc(p);
+    auto prog = compile(d, cfgOf(3, 16, 32));
+    EXPECT_LT(prog.stats.programBits,
+              prog.stats.programBitsExplicitWrites * 0.9)
+        << "auto " << prog.stats.programBits << " explicit "
+        << prog.stats.programBitsExplicitWrites;
+}
+
+TEST(Compiler, FootprintBeatsCsrForPc)
+{
+    // §IV-E: instructions + data beat the CSR representation.
+    PcParams p;
+    p.targetOperations = 4000;
+    p.depth = 30;
+    p.seed = 46;
+    Dag d = generatePc(p);
+    auto prog = compile(d, minEdpConfig());
+    EXPECT_LT(prog.stats.programBits + prog.stats.dataBits,
+              prog.stats.csrBits * 1.3)
+        << "program " << prog.stats.programBits << " + data "
+        << prog.stats.dataBits << " vs CSR " << prog.stats.csrBits;
+}
+
+TEST(Compiler, PartitionedCompileMatchesUnpartitioned)
+{
+    Dag d = generateRandomDag(64, 3000, 47);
+    ArchConfig cfg = cfgOf(3, 16, 64);
+    CompileOptions part;
+    part.partitionNodes = 500;
+    part.validate = true;
+    auto prog = compile(d, cfg, part);
+    auto inputs = randomInputs(d, 48);
+    runAndCheck(prog, d, inputs);
+}
+
+TEST(Compiler, SptrsvEndToEnd)
+{
+    LowerTriangularParams p;
+    p.dim = 200;
+    p.depthLevels = 20;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 49;
+    auto m = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(m);
+
+    ArchConfig cfg = minEdpConfig();
+    CompileOptions opt;
+    opt.validate = true;
+    auto prog = compile(lowered.dag, cfg, opt);
+
+    Rng rng(50);
+    std::vector<double> b(m.dim());
+    for (auto &x : b)
+        x = rng.uniform() * 2 - 1;
+    auto inputs = sptrsvInputValues(lowered, m, b);
+    runAndCheck(prog, lowered.dag, inputs);
+}
+
+TEST(Compiler, DeterministicForFixedSeed)
+{
+    Dag d = generateRandomDag(16, 500, 51);
+    ArchConfig cfg = cfgOf(3, 16, 32);
+    CompileOptions opt;
+    opt.seed = 7;
+    auto a = compile(d, cfg, opt);
+    auto b = compile(d, cfg, opt);
+    EXPECT_EQ(a.instructions.size(), b.instructions.size());
+    EXPECT_EQ(a.stats.programBits, b.stats.programBits);
+    EXPECT_EQ(encodeProgram(cfg, a.instructions),
+              encodeProgram(cfg, b.instructions));
+}
+
+TEST(Compiler, EncodedProgramDecodesToSameInstructions)
+{
+    Dag d = generateRandomDag(16, 300, 52);
+    ArchConfig cfg = cfgOf(2, 16, 32);
+    auto prog = compile(d, cfg);
+    auto image = encodeProgram(cfg, prog.instructions);
+    auto back = decodeProgram(cfg, image, prog.instructions.size());
+    ASSERT_EQ(back.size(), prog.instructions.size());
+    for (size_t i = 0; i < back.size(); ++i)
+        EXPECT_EQ(back[i], prog.instructions[i]) << "instr " << i;
+}
+
+TEST(Compiler, RegisterFileTooSmallFails)
+{
+    Dag d = generateRandomDag(64, 2000, 53);
+    ArchConfig cfg = cfgOf(3, 8, 2);
+    EXPECT_THROW(compile(d, cfg), FatalError);
+}
+
+} // namespace
+} // namespace dpu

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/disasm.hh"
+#include "compiler/compiler.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+smallCfg()
+{
+    ArchConfig c;
+    c.depth = 2;
+    c.banks = 8;
+    c.regsPerBank = 16;
+    return c;
+}
+
+TEST(Disasm, Nop)
+{
+    EXPECT_EQ(disassemble(smallCfg(), NopInstr{}), "nop");
+}
+
+TEST(Disasm, LoadListsBanks)
+{
+    LoadInstr ld;
+    ld.memRow = 7;
+    ld.enable.assign(8, false);
+    ld.enable[1] = ld.enable[5] = true;
+    std::string s = disassemble(smallCfg(), ld);
+    EXPECT_EQ(s, "load row=7 banks{1,5}");
+}
+
+TEST(Disasm, StoreShowsAddresses)
+{
+    StoreInstr st;
+    st.memRow = 3;
+    st.enable.assign(8, false);
+    st.readAddr.assign(8, 0);
+    st.enable[2] = true;
+    st.readAddr[2] = 9;
+    std::string s = disassemble(smallCfg(), st);
+    EXPECT_NE(s.find("store row=3"), std::string::npos);
+    EXPECT_NE(s.find("b2@9"), std::string::npos);
+}
+
+TEST(Disasm, CopyShowsRoutesAndRst)
+{
+    Copy4Instr cp;
+    cp.validRst.assign(8, false);
+    cp.slots[0] = {true, 1, 4, 6};
+    cp.validRst[1] = true;
+    std::string s = disassemble(smallCfg(), cp);
+    EXPECT_NE(s.find("copy_4"), std::string::npos);
+    EXPECT_NE(s.find("b1@4!->b6"), std::string::npos);
+}
+
+TEST(Disasm, ExecShowsTreeShape)
+{
+    ArchConfig cfg = smallCfg(); // 2 trees of 3 PEs
+    ExecInstr ex;
+    ex.peOp.assign(cfg.numPes(), PeOp::Nop);
+    ex.peOp[cfg.peId({0, 1, 0})] = PeOp::Mul;
+    ex.peOp[cfg.peId({0, 1, 1})] = PeOp::PassA;
+    ex.peOp[cfg.peId({0, 2, 0})] = PeOp::Add;
+    ex.inputSel.assign(cfg.banks, 0);
+    ex.readAddr.assign(cfg.banks, 0);
+    ex.validRst.assign(cfg.banks, false);
+    ex.writeEnable.assign(cfg.banks, false);
+    ex.outputSel.assign(cfg.banks, 0);
+    ex.writeEnable[3] = true;
+    std::string s = disassemble(cfg, ex);
+    EXPECT_NE(s.find("t0["), std::string::npos);
+    EXPECT_NE(s.find("L2.0:add"), std::string::npos);
+    EXPECT_NE(s.find("L1.0:mul"), std::string::npos);
+    EXPECT_NE(s.find("wr b3<-pe"), std::string::npos);
+    // Tree 1 is idle and must not appear.
+    EXPECT_EQ(s.find("t1["), std::string::npos);
+}
+
+TEST(Disasm, WholeProgramHasSummary)
+{
+    PcParams p;
+    p.targetOperations = 200;
+    p.depth = 8;
+    p.seed = 2;
+    Dag d = generatePc(p);
+    ArchConfig cfg = smallCfg();
+    auto prog = compile(d, cfg);
+    std::ostringstream os;
+    disassembleProgram(cfg, prog.instructions, os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("instructions,"), std::string::npos);
+    EXPECT_NE(s.find("exec:"), std::string::npos);
+    // One line per instruction plus summary lines.
+    size_t lines = std::count(s.begin(), s.end(), '\n');
+    EXPECT_GT(lines, prog.instructions.size());
+}
+
+TEST(Disasm, EveryInstructionOfARealProgramRenders)
+{
+    Dag d = generateRandomDag(16, 500, 9);
+    ArchConfig cfg;
+    cfg.depth = 3;
+    cfg.banks = 16;
+    cfg.regsPerBank = 8; // force spills -> store_4 traffic
+    auto prog = compile(d, cfg);
+    for (const auto &in : prog.instructions) {
+        std::string s = disassemble(cfg, in);
+        EXPECT_FALSE(s.empty());
+    }
+}
+
+} // namespace
+} // namespace dpu

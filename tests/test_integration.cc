@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end property tests: for arbitrary DAGs and arbitrary
+ * architecture configurations, compile + simulate must reproduce the
+ * golden evaluator exactly, with zero hazards and no register leaks
+ * (all enforced inside the simulator).
+ *
+ * This is the repository's core correctness argument: the simulator
+ * panics on any pipeline hazard, bank overflow, invalid read, mux
+ * misroute, or functional mismatch, so a green sweep means the whole
+ * compiler pipeline is sound for that configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "compiler/compiler.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace {
+
+std::vector<double>
+randomInputs(const Dag &d, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(d.numInputs());
+    for (auto &x : v)
+        x = 0.5 + rng.uniform();
+    return v;
+}
+
+/** (D, B, R, output interconnect) sweep axis. */
+using ConfigParam =
+    std::tuple<uint32_t, uint32_t, uint32_t, OutputInterconnect>;
+
+class EndToEnd : public ::testing::TestWithParam<ConfigParam>
+{
+  protected:
+    ArchConfig
+    config() const
+    {
+        auto [d, b, r, net] = GetParam();
+        ArchConfig c;
+        c.depth = d;
+        c.banks = b;
+        c.regsPerBank = r;
+        c.outputNet = net;
+        return c;
+    }
+};
+
+TEST_P(EndToEnd, RandomDagMatchesReference)
+{
+    ArchConfig cfg = config();
+    if (cfg.banks < (1u << cfg.depth))
+        GTEST_SKIP() << "infeasible configuration";
+    uint64_t seed = cfg.depth * 1000 + cfg.banks * 10 + cfg.regsPerBank;
+    Dag d = generateRandomDag(24, 700, seed);
+    CompileOptions opt;
+    opt.validate = true;
+    opt.seed = seed;
+    auto prog = compile(d, cfg, opt);
+    runAndCheck(prog, d, randomInputs(d, seed + 1));
+}
+
+TEST_P(EndToEnd, PcMatchesReference)
+{
+    ArchConfig cfg = config();
+    if (cfg.banks < (1u << cfg.depth))
+        GTEST_SKIP() << "infeasible configuration";
+    PcParams p;
+    p.targetOperations = 1500;
+    p.depth = 18;
+    p.seed = cfg.banks + cfg.depth;
+    Dag d = generatePc(p);
+    CompileOptions opt;
+    opt.validate = true;
+    auto prog = compile(d, cfg, opt);
+    runAndCheck(prog, d, randomInputs(d, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, EndToEnd,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 3u),
+        ::testing::Values(8u, 16u, 32u, 64u),
+        ::testing::Values(16u, 32u),
+        ::testing::Values(OutputInterconnect::PerLayerSubtree)),
+    [](const ::testing::TestParamInfo<ConfigParam> &info) {
+        return "D" + std::to_string(std::get<0>(info.param)) + "_B" +
+               std::to_string(std::get<1>(info.param)) + "_R" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    InterconnectSweep, EndToEnd,
+    ::testing::Combine(
+        ::testing::Values(2u, 3u),
+        ::testing::Values(16u, 32u),
+        ::testing::Values(32u),
+        ::testing::Values(OutputInterconnect::Crossbar,
+                          OutputInterconnect::OnePerPe)),
+    [](const ::testing::TestParamInfo<ConfigParam> &info) {
+        bool xbar =
+            std::get<3>(info.param) == OutputInterconnect::Crossbar;
+        return std::string(xbar ? "xbar" : "oneperpe") + "_D" +
+               std::to_string(std::get<0>(info.param)) + "_B" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(EndToEndSeeds, ManyRandomDagsOnMinEdp)
+{
+    ArchConfig cfg = minEdpConfig();
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Dag d = generateRandomDag(16 + seed, 300 + 40 * seed, seed);
+        CompileOptions opt;
+        opt.validate = true;
+        opt.seed = seed;
+        auto prog = compile(d, cfg, opt);
+        runAndCheck(prog, d, randomInputs(d, seed * 3 + 1));
+    }
+}
+
+TEST(EndToEndSeeds, SpillHeavySweep)
+{
+    // Tiny register files force heavy spilling on every seed.
+    ArchConfig cfg;
+    cfg.depth = 2;
+    cfg.banks = 8;
+    cfg.regsPerBank = 6;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        Dag d = generateRandomDag(32, 800, 100 + seed);
+        CompileOptions opt;
+        opt.validate = true;
+        auto prog = compile(d, cfg, opt);
+        EXPECT_GT(prog.stats.spillStores, 0u) << "seed " << seed;
+        runAndCheck(prog, d, randomInputs(d, seed));
+    }
+}
+
+TEST(EndToEndSeeds, RandomBankPolicyStaysCorrect)
+{
+    // The random mapper is slower (more copies) but must be correct.
+    ArchConfig cfg;
+    cfg.depth = 3;
+    cfg.banks = 16;
+    cfg.regsPerBank = 64;
+    Dag d = generateRandomDag(24, 600, 77);
+    CompileOptions opt;
+    opt.bankPolicy = BankPolicy::Random;
+    opt.validate = true;
+    auto prog = compile(d, cfg, opt);
+    runAndCheck(prog, d, randomInputs(d, 78));
+}
+
+TEST(EndToEndWorkloads, SmallSuiteScaledDown)
+{
+    // Every named workload (scaled to ~8%) through the whole stack.
+    ArchConfig cfg = minEdpConfig();
+    for (const auto &spec : smallSuite()) {
+        Dag d = buildWorkloadDag(spec, 0.08);
+        CompileOptions opt;
+        opt.validate = true;
+        auto prog = compile(d, cfg, opt);
+        runAndCheck(prog, d, randomInputs(d, spec.seed));
+    }
+}
+
+TEST(EndToEndWorkloads, SptrsvSolutionIsCorrect)
+{
+    LowerTriangularParams p;
+    p.dim = 300;
+    p.depthLevels = 25;
+    p.avgOffDiagonal = 4.0;
+    p.seed = 80;
+    auto m = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(m);
+    auto prog = compile(lowered.dag, minEdpConfig());
+
+    Rng rng(81);
+    std::vector<double> b(m.dim());
+    for (auto &x : b)
+        x = rng.uniform() * 2 - 1;
+    auto inputs = sptrsvInputValues(lowered, m, b);
+    runAndCheck(prog, lowered.dag, inputs);
+}
+
+} // namespace
+} // namespace dpu

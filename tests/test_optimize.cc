@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the DAG optimization passes (CSE, DCE) and their
+ * interaction with the compiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/compiler.hh"
+#include "dag/eval.hh"
+#include "dag/io.hh"
+#include "dag/optimize.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+TEST(Cse, CollapsesIdenticalNodes)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s1 = d.addNode(OpType::Add, {a, b});
+    NodeId s2 = d.addNode(OpType::Add, {a, b}); // duplicate
+    d.addNode(OpType::Mul, {s1, s2});
+    auto res = eliminateCommonSubexpressions(d);
+    EXPECT_EQ(res.removedNodes, 1u);
+    EXPECT_EQ(res.valueOf[s1], res.valueOf[s2]);
+    EXPECT_EQ(res.dag.numOperations(), 2u);
+}
+
+TEST(Cse, CommutativityCanonicalized)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s1 = d.addNode(OpType::Mul, {a, b});
+    NodeId s2 = d.addNode(OpType::Mul, {b, a}); // swapped operands
+    d.addNode(OpType::Add, {s1, s2});
+    auto res = eliminateCommonSubexpressions(d);
+    EXPECT_EQ(res.removedNodes, 1u);
+}
+
+TEST(Cse, DifferentOpsNotMerged)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s1 = d.addNode(OpType::Add, {a, b});
+    NodeId s2 = d.addNode(OpType::Mul, {a, b});
+    d.addNode(OpType::Add, {s1, s2});
+    auto res = eliminateCommonSubexpressions(d);
+    EXPECT_EQ(res.removedNodes, 0u);
+}
+
+TEST(Cse, CascadingDuplicatesCollapseInOnePass)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s1 = d.addNode(OpType::Add, {a, b});
+    NodeId s2 = d.addNode(OpType::Add, {a, b});
+    NodeId t1 = d.addNode(OpType::Mul, {s1, s1});
+    NodeId t2 = d.addNode(OpType::Mul, {s2, s2}); // dup via remap
+    d.addNode(OpType::Add, {t1, t2});
+    auto res = eliminateCommonSubexpressions(d);
+    EXPECT_EQ(res.removedNodes, 2u);
+}
+
+TEST(Cse, ValuePreserving)
+{
+    Dag d = generateRandomDag(12, 400, 21);
+    auto res = eliminateCommonSubexpressions(d);
+    Rng rng(5);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = 0.5 + rng.uniform();
+    auto before = evaluate(d, in);
+    auto after = evaluate(res.dag, in);
+    for (NodeId v = 0; v < d.numNodes(); ++v)
+        EXPECT_DOUBLE_EQ(after[res.valueOf[v]], before[v]);
+}
+
+TEST(Dce, DropsNodesOffTheQueryCone)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId keep = d.addNode(OpType::Add, {a, b});
+    NodeId dead = d.addNode(OpType::Mul, {a, b});
+    d.addNode(OpType::Mul, {keep, a});
+    auto res = eliminateDeadNodes(d, {4});
+    EXPECT_EQ(res.removedNodes, 1u);
+    EXPECT_EQ(res.valueOf[dead], invalidNode);
+    EXPECT_NE(res.valueOf[keep], invalidNode);
+    // Inputs survive even if unused by the query.
+    EXPECT_EQ(res.dag.numInputs(), 2u);
+}
+
+TEST(Dce, NoOutputsMeansNothingDead)
+{
+    Dag d = generateRandomDag(8, 100, 22);
+    auto res = eliminateDeadNodes(d);
+    EXPECT_EQ(res.removedNodes, 0u);
+    EXPECT_EQ(res.dag.numOperations(), d.numOperations());
+}
+
+TEST(Optimize, PipelineComposes)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    NodeId s1 = d.addNode(OpType::Add, {a, b});
+    NodeId s2 = d.addNode(OpType::Add, {b, a}); // CSE victim
+    NodeId root = d.addNode(OpType::Mul, {s1, s1});
+    d.addNode(OpType::Mul, {s2, b}); // dead w.r.t. root
+    auto res = optimizeDag(d, {root});
+    EXPECT_EQ(res.removedNodes, 2u);
+    EXPECT_NE(res.valueOf[root], invalidNode);
+}
+
+TEST(Optimize, OptimizedDagCompilesAndMatches)
+{
+    // End-to-end: optimize toward one root, compile, simulate, and
+    // compare with the unoptimized evaluation of that root.
+    Dag d = generateRandomDag(16, 600, 23);
+    NodeId root = static_cast<NodeId>(d.numNodes() - 1);
+    auto opt = optimizeDag(d, {root});
+
+    auto prog = compile(opt.dag, minEdpConfig());
+    Rng rng(6);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = 0.5 + rng.uniform();
+    auto res = runAndCheck(prog, opt.dag, in);
+
+    double want = evaluate(d, in)[root];
+    NodeId new_root = opt.valueOf[root];
+    bool found = false;
+    for (size_t k = 0; k < prog.outputs.size(); ++k) {
+        // The compiled outputs are binarized ids; binarize preserves
+        // values per original node, so compare against the golden
+        // evaluation of the optimized dag instead.
+        (void)k;
+    }
+    auto opt_vals = evaluate(opt.dag, in);
+    EXPECT_DOUBLE_EQ(opt_vals[new_root], want);
+    found = !res.outputs.empty();
+    EXPECT_TRUE(found);
+}
+
+TEST(Dot, EmitsWellFormedGraph)
+{
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    d.addNode(OpType::Add, {a, b});
+    std::ostringstream os;
+    writeDot(d, os, "g");
+    std::string s = os.str();
+    EXPECT_NE(s.find("digraph g {"), std::string::npos);
+    EXPECT_NE(s.find("n0 -> n2"), std::string::npos);
+    EXPECT_NE(s.find("shape=box"), std::string::npos);
+    EXPECT_EQ(s.back(), '\n');
+}
+
+} // namespace
+} // namespace dpu

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the cycle-accurate simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+cfgOf(uint32_t depth, uint32_t banks, uint32_t regs)
+{
+    ArchConfig c;
+    c.depth = depth;
+    c.banks = banks;
+    c.regsPerBank = regs;
+    return c;
+}
+
+CompiledProgram
+tinyProgram(Dag &d)
+{
+    NodeId a = d.addInput();
+    NodeId b = d.addInput();
+    d.addNode(OpType::Mul, {a, b});
+    return compile(d, cfgOf(1, 2, 8));
+}
+
+TEST(Sim, TinyProgramComputes)
+{
+    Dag d;
+    auto prog = tinyProgram(d);
+    Machine m(prog);
+    auto res = m.run({3.0, 5.0});
+    ASSERT_EQ(res.outputs.size(), 1u);
+    EXPECT_DOUBLE_EQ(res.outputs[0], 15.0);
+}
+
+TEST(Sim, CyclesMatchInstructionsPlusDrain)
+{
+    Dag d;
+    auto prog = tinyProgram(d);
+    auto res = Machine(prog).run({1.0, 2.0});
+    EXPECT_EQ(res.stats.cycles,
+              prog.instructions.size() + prog.cfg.pipelineStages());
+    EXPECT_EQ(res.stats.cycles, prog.stats.cycles);
+}
+
+TEST(Sim, KindCountsMatchCompiler)
+{
+    Dag d = generateRandomDag(16, 400, 61);
+    auto prog = compile(d, cfgOf(3, 16, 32));
+    Rng rng(62);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+    auto res = Machine(prog).run(in);
+    for (size_t k = 0; k < 6; ++k)
+        EXPECT_EQ(res.stats.kindCount[k], prog.stats.kindCount[k]);
+}
+
+TEST(Sim, RerunWithDifferentInputs)
+{
+    // The static-DAG scenario: one program, many input vectors.
+    Dag d = generateRandomDag(10, 200, 63);
+    auto prog = compile(d, cfgOf(2, 8, 32));
+    Machine m(prog);
+    for (uint64_t trial = 0; trial < 5; ++trial) {
+        Rng rng(100 + trial);
+        std::vector<double> in(d.numInputs());
+        for (auto &x : in)
+            x = rng.uniform() + 0.5;
+        runAndCheck(prog, d, in);
+    }
+}
+
+TEST(Sim, WrongInputCountPanics)
+{
+    Dag d;
+    auto prog = tinyProgram(d);
+    Machine m(prog);
+    EXPECT_THROW(m.run({1.0}), PanicError);
+}
+
+TEST(Sim, OccupancyTraceRecordsLiveRegisters)
+{
+    Dag d = generateRandomDag(32, 2000, 64);
+    auto prog = compile(d, cfgOf(3, 16, 64));
+    Rng rng(65);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+    SimOptions opts;
+    opts.traceOccupancy = true;
+    opts.traceInterval = 8;
+    auto res = Machine(prog, opts).run(in);
+    ASSERT_FALSE(res.stats.occupancyTrace.empty());
+    // Trace rows have one entry per bank, all within R.
+    for (const auto &row : res.stats.occupancyTrace) {
+        ASSERT_EQ(row.size(), prog.cfg.banks);
+        for (uint32_t v : row)
+            EXPECT_LE(v, prog.cfg.regsPerBank);
+    }
+    EXPECT_GT(res.stats.peakLiveRegisters, 0u);
+}
+
+TEST(Sim, EventCountsArePlausible)
+{
+    Dag d = generateRandomDag(24, 800, 66);
+    auto prog = compile(d, cfgOf(3, 16, 32));
+    Rng rng(67);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+    auto res = Machine(prog).run(in);
+    // Every binarized operation executes at least once (replication
+    // can only add).
+    EXPECT_GE(res.stats.peOperations, prog.stats.numOperations);
+    EXPECT_EQ(res.stats.peOperations, prog.stats.peOpsExecuted);
+    // Each load/store touches memory once.
+    using K = InstrKind;
+    EXPECT_EQ(res.stats.memReads,
+              res.stats.kindCount[static_cast<size_t>(K::Load)]);
+    EXPECT_EQ(res.stats.memWrites,
+              res.stats.kindCount[static_cast<size_t>(K::Store)] +
+                  res.stats.kindCount[static_cast<size_t>(K::Store4)]);
+    // Fetch traffic equals the packed program footprint.
+    EXPECT_EQ(res.stats.instrBitsFetched, prog.stats.programBits);
+}
+
+TEST(Sim, DecodedProgramRunsIdentically)
+{
+    // Compile -> encode -> decode -> run: the binary path works.
+    Dag d = generateRandomDag(12, 300, 68);
+    auto prog = compile(d, cfgOf(2, 8, 32));
+    auto image = encodeProgram(prog.cfg, prog.instructions);
+    CompiledProgram prog2 = prog;
+    prog2.instructions =
+        decodeProgram(prog.cfg, image, prog.instructions.size());
+    Rng rng(69);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+    auto a = Machine(prog).run(in);
+    auto b = Machine(prog2).run(in);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (size_t i = 0; i < a.outputs.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.outputs[i], b.outputs[i]);
+}
+
+} // namespace
+} // namespace dpu
+
+#include "sim/batch.hh"
+
+namespace dpu {
+namespace {
+
+TEST(Batch, FourCoresQuadrupleThroughput)
+{
+    Dag d = generateRandomDag(16, 400, 71);
+    auto prog = compile(d, cfgOf(3, 16, 32));
+    Rng rng(72);
+    std::vector<std::vector<double>> batch;
+    for (int k = 0; k < 8; ++k) {
+        std::vector<double> in(d.numInputs());
+        for (auto &x : in)
+            x = 0.5 + rng.uniform();
+        batch.push_back(std::move(in));
+    }
+    BatchMachine one(prog, 1, prog.stats.numOperations);
+    BatchMachine four(prog, 4, prog.stats.numOperations);
+    auto r1 = one.run(batch);
+    auto r4 = four.run(batch);
+    ASSERT_EQ(r1.runs.size(), 8u);
+    ASSERT_EQ(r4.runs.size(), 8u);
+    EXPECT_EQ(r1.totalOperations, r4.totalOperations);
+    // 8 inputs over 4 cores: exactly 4x fewer wall cycles.
+    EXPECT_EQ(r1.wallCycles, r4.wallCycles * 4);
+    EXPECT_NEAR(r4.throughputGops(300e6),
+                4 * r1.throughputGops(300e6), 1e-9);
+}
+
+TEST(Batch, UnevenBatchRoundsUp)
+{
+    Dag d = generateRandomDag(8, 100, 73);
+    auto prog = compile(d, cfgOf(2, 8, 32));
+    std::vector<std::vector<double>> batch(
+        5, std::vector<double>(d.numInputs(), 1.0));
+    BatchMachine four(prog, 4, prog.stats.numOperations);
+    auto r = four.run(batch);
+    // Core 0 gets 2 slices, the rest 1: wall = 2 runs.
+    EXPECT_EQ(r.wallCycles, 2 * prog.stats.cycles);
+}
+
+} // namespace
+} // namespace dpu

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for src/support: logging, rng, bitvec, stats, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/bitvec.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace dpu {
+namespace {
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(dpu_panic("boom"), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(dpu_fatal("bad input"), FatalError);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(dpu_assert(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(dpu_assert(false, "nope"), PanicError);
+}
+
+TEST(Logging, MessageContainsFileAndText)
+{
+    try {
+        dpu_fatal("special-marker");
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("special-marker"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_support"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversDomain)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(BitVec, StartsClear)
+{
+    BitVec bv(100);
+    EXPECT_EQ(bv.count(), 0u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.firstZero(), 0u);
+}
+
+TEST(BitVec, SetAndGet)
+{
+    BitVec bv(70);
+    bv.set(0);
+    bv.set(69);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(69));
+    EXPECT_FALSE(bv.get(35));
+    EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVec, FirstZeroSkipsSetPrefix)
+{
+    BitVec bv(10);
+    for (size_t i = 0; i < 4; ++i)
+        bv.set(i);
+    EXPECT_EQ(bv.firstZero(), 4u);
+    bv.clear(2);
+    EXPECT_EQ(bv.firstZero(), 2u);
+}
+
+TEST(BitVec, FirstZeroFullReturnsSize)
+{
+    BitVec bv(65);
+    for (size_t i = 0; i < 65; ++i)
+        bv.set(i);
+    EXPECT_EQ(bv.firstZero(), 65u);
+}
+
+TEST(BitVec, AllOnesConstructor)
+{
+    BitVec bv(130, true);
+    EXPECT_EQ(bv.count(), 130u);
+    EXPECT_EQ(bv.firstZero(), 130u);
+}
+
+TEST(BitVec, ResetClearsAll)
+{
+    BitVec bv(64, true);
+    bv.reset();
+    EXPECT_TRUE(bv.none());
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.118, 1e-3);
+}
+
+TEST(Summary, EmptyMeanPanics)
+{
+    Summary s;
+    EXPECT_THROW(s.mean(), PanicError);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Table, AlignedOutput)
+{
+    TablePrinter t({"name", "value"});
+    t.row().cell("x").num(1.5, 1);
+    t.row().cell("longer").num(static_cast<long long>(42));
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.row().cell("1").cell("2");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace dpu

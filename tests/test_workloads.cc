@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit tests for the workload suite: sparse matrices, SpTRSV lowering,
+ * PC generation, and the Table I twins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dag/algorithms.hh"
+#include "dag/eval.hh"
+#include "workloads/pc_generator.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace {
+
+TEST(SparseMatrix, FromTripletsSortsAndMerges)
+{
+    auto m = SparseMatrixCsr::fromTriplets(
+        3, {{2, 1, 1.0}, {0, 0, 2.0}, {2, 1, 0.5}, {1, 0, -1.0},
+            {1, 1, 3.0}});
+    EXPECT_EQ(m.dim(), 3u);
+    EXPECT_EQ(m.nnz(), 4u); // duplicate (2,1) merged
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 1.5);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+    EXPECT_TRUE(m.isLowerTriangular());
+}
+
+TEST(SparseMatrix, NotLowerTriangular)
+{
+    auto m = SparseMatrixCsr::fromTriplets(2, {{0, 1, 1.0}, {1, 1, 1.0}});
+    EXPECT_FALSE(m.isLowerTriangular());
+}
+
+TEST(SparseMatrix, DependencyDepthOfChain)
+{
+    // Bidiagonal: every row depends on the previous one.
+    std::vector<Triplet> t;
+    for (uint32_t i = 0; i < 10; ++i) {
+        t.push_back({i, i, 1.0});
+        if (i)
+            t.push_back({i, i - 1, 0.5});
+    }
+    auto m = SparseMatrixCsr::fromTriplets(10, t);
+    EXPECT_EQ(m.dependencyDepth(), 10u);
+}
+
+TEST(SparseMatrix, DependencyDepthOfDiagonal)
+{
+    std::vector<Triplet> t;
+    for (uint32_t i = 0; i < 10; ++i)
+        t.push_back({i, i, 1.0});
+    auto m = SparseMatrixCsr::fromTriplets(10, t);
+    EXPECT_EQ(m.dependencyDepth(), 1u);
+}
+
+TEST(SparseMatrix, GeneratorHitsDepthExactly)
+{
+    LowerTriangularParams p;
+    p.dim = 512;
+    p.depthLevels = 32;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 5;
+    auto m = makeLowerTriangular(p);
+    EXPECT_TRUE(m.isLowerTriangular());
+    EXPECT_EQ(m.dependencyDepth(), 32u);
+}
+
+TEST(SparseMatrix, GeneratorNnzNearTarget)
+{
+    LowerTriangularParams p;
+    p.dim = 2048;
+    p.depthLevels = 64;
+    p.avgOffDiagonal = 4.0;
+    p.seed = 9;
+    auto m = makeLowerTriangular(p);
+    double off = static_cast<double>(m.nnz()) - p.dim;
+    EXPECT_NEAR(off / p.dim, 4.0, 0.5);
+}
+
+TEST(SparseMatrix, MatrixMarketRoundTrip)
+{
+    LowerTriangularParams p;
+    p.dim = 64;
+    p.depthLevels = 8;
+    p.seed = 2;
+    auto m = makeLowerTriangular(p);
+    std::stringstream ss;
+    writeMatrixMarket(m, ss);
+    auto back = readMatrixMarket(ss);
+    ASSERT_EQ(back.dim(), m.dim());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (uint32_t r = 0; r < m.dim(); ++r)
+        for (size_t k = m.rowBegin(r); k < m.rowEnd(r); ++k)
+            EXPECT_NEAR(back.at(r, m.colAt(k)), m.valueAt(k), 1e-9);
+}
+
+TEST(SparseMatrix, MatrixMarketRejectsGarbage)
+{
+    std::stringstream ss("not a matrix\n");
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(SparseMatrix, ForwardSubstitutionSolves)
+{
+    LowerTriangularParams p;
+    p.dim = 128;
+    p.depthLevels = 16;
+    p.seed = 3;
+    auto m = makeLowerTriangular(p);
+    Rng rng(4);
+    std::vector<double> b(m.dim());
+    for (auto &x : b)
+        x = rng.uniform() * 2 - 1;
+    auto x = solveLowerTriangular(m, b);
+    // Verify L x = b.
+    for (uint32_t r = 0; r < m.dim(); ++r) {
+        double acc = 0;
+        for (size_t k = m.rowBegin(r); k < m.rowEnd(r); ++k)
+            acc += m.valueAt(k) * x[m.colAt(k)];
+        EXPECT_NEAR(acc, b[r], 1e-8) << "row " << r;
+    }
+}
+
+TEST(SpTrsv, DagMatchesForwardSubstitution)
+{
+    LowerTriangularParams p;
+    p.dim = 256;
+    p.depthLevels = 24;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 6;
+    auto m = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(m);
+    EXPECT_TRUE(lowered.dag.isBinary());
+
+    Rng rng(7);
+    std::vector<double> b(m.dim());
+    for (auto &x : b)
+        x = rng.uniform() * 2 - 1;
+
+    auto ref = solveLowerTriangular(m, b);
+    auto inputs = sptrsvInputValues(lowered, m, b);
+    auto values = evaluate(lowered.dag, inputs);
+    auto x = sptrsvSolution(lowered, values);
+    ASSERT_EQ(x.size(), ref.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], ref[i], 1e-8 + 1e-6 * std::abs(ref[i]))
+            << "row " << i;
+}
+
+TEST(SpTrsv, RhsChangeOnlyChangesInputs)
+{
+    // The static-DAG assumption: a new rhs reuses the same DAG.
+    LowerTriangularParams p;
+    p.dim = 64;
+    p.depthLevels = 8;
+    p.seed = 8;
+    auto m = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(m);
+    for (uint64_t trial = 0; trial < 3; ++trial) {
+        Rng rng(100 + trial);
+        std::vector<double> b(m.dim());
+        for (auto &x : b)
+            x = rng.uniform();
+        auto ref = solveLowerTriangular(m, b);
+        auto x = sptrsvSolution(
+            lowered, evaluate(lowered.dag,
+                              sptrsvInputValues(lowered, m, b)));
+        for (size_t i = 0; i < x.size(); ++i)
+            EXPECT_NEAR(x[i], ref[i], 1e-8 + 1e-6 * std::abs(ref[i]));
+    }
+}
+
+TEST(PcGenerator, ExactCountsAndDepth)
+{
+    PcParams p;
+    p.targetOperations = 5000;
+    p.depth = 37;
+    p.seed = 11;
+    Dag d = generatePc(p);
+    EXPECT_EQ(d.numOperations(), 5000u);
+    EXPECT_EQ(longestPathLength(d), 37u);
+    EXPECT_TRUE(d.isBinary());
+}
+
+TEST(PcGenerator, AlternatingOperators)
+{
+    PcParams p;
+    p.targetOperations = 300;
+    p.depth = 10;
+    p.seed = 12;
+    Dag d = generatePc(p);
+    auto levels = asapLevels(d);
+    for (NodeId id = 0; id < d.numNodes(); ++id) {
+        const Node &n = d.node(id);
+        if (n.isInput())
+            continue;
+        // Layer parity decides the operator (layer 1 = Mul).
+        OpType expect =
+            (levels[id] % 2 == 1) ? OpType::Mul : OpType::Add;
+        EXPECT_EQ(n.op, expect) << "node " << id;
+    }
+}
+
+TEST(PcGenerator, FewSinks)
+{
+    PcParams p;
+    p.targetOperations = 4000;
+    p.depth = 25;
+    p.seed = 13;
+    Dag d = generatePc(p);
+    // The cover-unconsumed-first policy keeps spurious sinks rare
+    // (under 10% of operations; learned PCs also have multiple roots
+    // when compiled as multi-query circuits).
+    EXPECT_LT(d.sinks().size(), d.numOperations() / 10);
+}
+
+TEST(PcGenerator, RandomDagIsWellFormed)
+{
+    Dag d = generateRandomDag(10, 500, 14);
+    EXPECT_EQ(d.numOperations(), 500u);
+    EXPECT_TRUE(d.isBinary());
+    auto v = evaluate(d, std::vector<double>(10, 1.0));
+    EXPECT_EQ(v.size(), d.numNodes());
+}
+
+class SuiteTwinTest : public ::testing::TestWithParam<WorkloadSpec>
+{};
+
+TEST_P(SuiteTwinTest, MatchesPaperStats)
+{
+    const WorkloadSpec &spec = GetParam();
+    Dag d = buildWorkloadDag(spec);
+    DagStats s = computeStats(d);
+    double node_ratio = static_cast<double>(s.numOperations) /
+                        static_cast<double>(spec.paperNodes);
+    double path_ratio = static_cast<double>(s.longestPath) /
+                        static_cast<double>(spec.paperLongestPath);
+    EXPECT_GT(node_ratio, 0.9) << spec.name;
+    EXPECT_LT(node_ratio, 1.1) << spec.name;
+    EXPECT_GT(path_ratio, 0.85) << spec.name;
+    EXPECT_LT(path_ratio, 1.15) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSuite, SuiteTwinTest, ::testing::ValuesIn(smallSuite()),
+    [](const ::testing::TestParamInfo<WorkloadSpec> &info) {
+        return info.param.name;
+    });
+
+TEST(Suite, FindWorkloadByName)
+{
+    const auto &w = findWorkload("mnist");
+    EXPECT_EQ(w.cls, WorkloadClass::Pc);
+    EXPECT_THROW(findWorkload("nope"), FatalError);
+}
+
+TEST(Suite, ScaleReducesNodes)
+{
+    const auto &w = findWorkload("tretail");
+    Dag full = buildWorkloadDag(w, 1.0);
+    Dag half = buildWorkloadDag(w, 0.5);
+    EXPECT_NEAR(static_cast<double>(half.numOperations()),
+                static_cast<double>(full.numOperations()) / 2, 200);
+}
+
+TEST(Suite, LargeSuiteSpecsPresent)
+{
+    EXPECT_EQ(largePcSuite().size(), 4u);
+    EXPECT_EQ(pcSuite().size(), 6u);
+    EXPECT_EQ(sptrsvSuite().size(), 6u);
+}
+
+} // namespace
+} // namespace dpu

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * dpuc — the command-line DPU-v2 compiler driver.
+ *
+ * Mirrors the original artifact's workflow (DAG file in, binary
+ * program + statistics out) without the Python/VCS stack:
+ *
+ *     dpuc <dag-file> [options]
+ *
+ *     --depth=N --banks=N --regs=N   architecture (default: min-EDP)
+ *     --out=<file>                   write the packed binary image
+ *     --disasm                       print the disassembly
+ *     --dot=<file>                   dump the input DAG as Graphviz
+ *     --optimize                     run CSE+DCE before compiling
+ *     --simulate                     run with random inputs + check
+ *     --window=N --partition=N --seed=N   compiler knobs
+ *
+ * Exit code 0 on success, 1 on user error (per gem5's fatal()
+ * convention), 2 on internal error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "arch/disasm.hh"
+#include "compiler/compiler.hh"
+#include "dag/io.hh"
+#include "dag/optimize.hh"
+#include "sim/machine.hh"
+#include "support/rng.hh"
+
+using namespace dpu;
+
+namespace {
+
+struct Args
+{
+    std::string dagPath;
+    std::string outPath;
+    std::string dotPath;
+    bool disasm = false;
+    bool optimize = false;
+    bool simulate = false;
+    ArchConfig cfg = minEdpConfig();
+    CompileOptions opts;
+};
+
+bool
+parseArgs(int argc, char **argv, Args &args)
+{
+    auto intval = [](const char *s) {
+        return static_cast<uint32_t>(std::atoi(s));
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--depth=", 8) == 0)
+            args.cfg.depth = intval(a + 8);
+        else if (std::strncmp(a, "--banks=", 8) == 0)
+            args.cfg.banks = intval(a + 8);
+        else if (std::strncmp(a, "--regs=", 7) == 0)
+            args.cfg.regsPerBank = intval(a + 7);
+        else if (std::strncmp(a, "--out=", 6) == 0)
+            args.outPath = a + 6;
+        else if (std::strncmp(a, "--dot=", 6) == 0)
+            args.dotPath = a + 6;
+        else if (std::strcmp(a, "--disasm") == 0)
+            args.disasm = true;
+        else if (std::strcmp(a, "--optimize") == 0)
+            args.optimize = true;
+        else if (std::strcmp(a, "--simulate") == 0)
+            args.simulate = true;
+        else if (std::strncmp(a, "--window=", 9) == 0)
+            args.opts.reorderWindow = intval(a + 9);
+        else if (std::strncmp(a, "--partition=", 12) == 0)
+            args.opts.partitionNodes = intval(a + 12);
+        else if (std::strncmp(a, "--seed=", 7) == 0)
+            args.opts.seed = intval(a + 7);
+        else if (a[0] == '-') {
+            std::fprintf(stderr, "dpuc: unknown option '%s'\n", a);
+            return false;
+        } else if (args.dagPath.empty())
+            args.dagPath = a;
+        else {
+            std::fprintf(stderr, "dpuc: more than one input file\n");
+            return false;
+        }
+    }
+    if (args.dagPath.empty()) {
+        std::fprintf(stderr,
+                     "usage: dpuc <dag-file> [--depth=N --banks=N "
+                     "--regs=N --out=F --disasm --dot=F --optimize "
+                     "--simulate --window=N --partition=N --seed=N]\n");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    if (!parseArgs(argc, argv, args))
+        return 1;
+    try {
+        Dag dag = readDagFile(args.dagPath);
+        std::printf("dpuc: %zu nodes (%zu operations, %zu inputs)\n",
+                    dag.numNodes(), dag.numOperations(),
+                    dag.numInputs());
+        if (args.optimize) {
+            auto opt = optimizeDag(dag);
+            std::printf("dpuc: optimize removed %zu nodes\n",
+                        opt.removedNodes);
+            dag = std::move(opt.dag);
+        }
+        if (!args.dotPath.empty()) {
+            std::ofstream dot(args.dotPath);
+            if (!dot)
+                dpu_fatal("cannot open '" + args.dotPath + "'");
+            writeDot(dag, dot);
+        }
+
+        args.cfg.check();
+        CompiledProgram prog = compile(dag, args.cfg, args.opts);
+        const auto &s = prog.stats;
+        std::printf("dpuc: compiled for %s: %llu instructions, %llu "
+                    "cycles, %.1f KB program, %.1f KB data\n",
+                    args.cfg.label().c_str(),
+                    static_cast<unsigned long long>(s.instructions),
+                    static_cast<unsigned long long>(s.cycles),
+                    s.programBits / 8192.0, s.dataBits / 8192.0);
+        std::printf("dpuc: conflicts=%llu nops=%llu spills=%llu "
+                    "(%.2f ops/cycle)\n",
+                    static_cast<unsigned long long>(s.bankConflicts),
+                    static_cast<unsigned long long>(s.nops),
+                    static_cast<unsigned long long>(s.spillStores),
+                    double(s.numOperations) / s.cycles);
+
+        if (args.disasm)
+            disassembleProgram(args.cfg, prog.instructions, std::cout);
+
+        if (!args.outPath.empty()) {
+            auto image = encodeProgram(args.cfg, prog.instructions);
+            std::ofstream out(args.outPath, std::ios::binary);
+            if (!out)
+                dpu_fatal("cannot open '" + args.outPath + "'");
+            out.write(reinterpret_cast<const char *>(image.data()),
+                      static_cast<std::streamsize>(image.size()));
+            std::printf("dpuc: wrote %zu bytes to %s\n", image.size(),
+                        args.outPath.c_str());
+        }
+
+        if (args.simulate) {
+            Rng rng(args.opts.seed);
+            std::vector<double> in(dag.numInputs());
+            for (double &x : in)
+                x = 0.5 + rng.uniform();
+            auto res = runAndCheck(prog, dag, in);
+            std::printf("dpuc: simulated %llu cycles, functional "
+                        "check passed, %zu outputs\n",
+                        static_cast<unsigned long long>(
+                            res.stats.cycles),
+                        res.outputs.size());
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "dpuc: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "dpuc: internal error: %s\n", e.what());
+        return 2;
+    }
+}
