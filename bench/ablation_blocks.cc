@@ -7,16 +7,16 @@
  * discussion in §VI).
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("ablation_blocks",
-                  "design-choice ablation (DESIGN.md E16)");
+    bench::Context ctx(argc, argv, "ablation_blocks",
+                       "design-choice ablation (DESIGN.md E16)");
+    double scale = ctx.scale();
 
     ArchConfig deep = minEdpConfig(); // D=3, 56 PEs
     ArchConfig flat;                  // same bank count, no trees
@@ -39,9 +39,10 @@ main(int argc, char **argv)
             .num(static_cast<long long>(b.sim.stats.bankReads));
     }
     t.print();
+    ctx.table(t);
     std::printf("\nExpected shape: the PE trees cut both cycles and "
                 "register-file reads (intermediate values stay in the "
                 "datapath) — the §V-B observation that raising D "
                 "improves latency at no power cost.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -7,16 +7,16 @@
  *     vs the paper's 300.
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.5);
-    bench::banner("ablation_mapper",
-                  "design-choice ablation (DESIGN.md E17)");
+    bench::Context ctx(argc, argv, "ablation_mapper",
+                       "design-choice ablation (DESIGN.md E17)", 0.5);
+    double scale = ctx.scale();
 
     std::printf("Bank-mapping policy (end-to-end cycles):\n");
     TablePrinter t1({"workload", "conflict-aware", "random",
@@ -40,6 +40,7 @@ main(int argc, char **argv)
                 b.program.stats.kindCount[size_t(K::Copy4)]));
     }
     t1.print();
+    ctx.table(t1, "bank_policy");
 
     std::printf("\nReorder window (step 3):\n");
     TablePrinter t2({"workload", "window=1", "window=8", "window=300",
@@ -64,8 +65,9 @@ main(int argc, char **argv)
             .num(static_cast<long long>(nops[2]));
     }
     t2.print();
+    ctx.table(t2, "reorder_window");
     std::printf("\nExpected shape: random banking costs extra copy "
                 "stalls; no reordering (window=1) drowns in nops; the "
                 "paper's window of 300 recovers most of it.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -8,18 +8,20 @@
 #include <algorithm>
 
 #include "baselines/baselines.hh"
-#include "bench/common.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig01_cpu_gpu_throughput", "Figure 1(c)",
-                  "CPU/GPU models on the suite plus one large PC "
-                  "(scale flag applies to the large PC only).");
+    bench::Context ctx(argc, argv, "fig01_cpu_gpu_throughput",
+                       "Figure 1(c)",
+                       1.0,
+                       "CPU/GPU models on the suite plus one large PC "
+                       "(scale flag applies to the large PC only).");
+    double scale = ctx.scale();
 
     struct Row
     {
@@ -35,13 +37,16 @@ main(int argc, char **argv)
                         runCpuModel(d).throughputGops,
                         runGpuModel(d).throughputGops});
     }
-    // One large PC to show the GPU crossover.
+    // One large PC to show the GPU crossover. Captured before the
+    // sort below: at small --scale it need not be the biggest row.
+    double large_gpu_over_cpu;
     {
         const auto &spec = largePcSuite()[0]; // pigs, 0.6M nodes
         Dag d = binarize(buildWorkloadDag(spec, scale)).dag;
         rows.push_back({spec.name + " (large)", d.numOperations(),
                         runCpuModel(d).throughputGops,
                         runGpuModel(d).throughputGops});
+        large_gpu_over_cpu = rows.back().gpu / rows.back().cpu;
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) { return a.nodes < b.nodes; });
@@ -57,8 +62,10 @@ main(int argc, char **argv)
             .num(r.gpu / r.cpu, 2);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("large_pc_gpu_over_cpu", large_gpu_over_cpu);
     std::printf("\nExpected shape (paper): both far below the 3.4 TOPS "
                 "peak; GPU < CPU for DAGs under ~100K nodes,\n"
                 "GPU overtakes on the large PC.\n");
-    return 0;
+    return ctx.finish();
 }

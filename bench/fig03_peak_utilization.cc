@@ -4,8 +4,8 @@
  * PEs as the input-port count grows.
  */
 
-#include "bench/common.hh"
 #include "compiler/spatial.hh"
+#include "harness.hh"
 #include "support/stats.hh"
 
 using namespace dpu;
@@ -13,11 +13,11 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
-    bench::banner("fig03_peak_utilization", "Figure 3(c)",
-                  "Randomized-greedy spatial probe over three "
-                  "workloads (substitute for the [34] mapper).");
+    bench::Context ctx(argc, argv, "fig03_peak_utilization",
+                       "Figure 3(c)",
+                       1.0,
+                       "Randomized-greedy spatial probe over three "
+                       "workloads (substitute for the [34] mapper).");
 
     const std::vector<std::string> names{"tretail", "mnist", "bp_200"};
     TablePrinter t({"inputs", "systolic PEs", "systolic util %",
@@ -38,8 +38,9 @@ main(int argc, char **argv)
             .num(tree.mean() * 100, 1);
     }
     t.print();
+    ctx.table(t);
     std::printf("\nExpected shape (paper): systolic utilization "
                 "collapses with inputs (~100%% -> ~25%%);\n"
                 "the tree stays close to fully utilizable.\n");
-    return 0;
+    return ctx.finish();
 }

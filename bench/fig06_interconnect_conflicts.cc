@@ -5,10 +5,10 @@
  * normalized to the crossbar.
  */
 
-#include "bench/common.hh"
 #include "compiler/blocks.hh"
 #include "compiler/mapper.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
@@ -29,8 +29,9 @@ conflictsFor(const Dag &dag, OutputInterconnect net)
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig06_interconnect_conflicts", "Figure 6(e)");
+    bench::Context ctx(argc, argv, "fig06_interconnect_conflicts",
+                       "Figure 6(e)");
+    double scale = ctx.scale();
 
     uint64_t a = 0, b = 0, c = 0;
     for (const auto &spec : smallSuite()) {
@@ -51,11 +52,14 @@ main(int argc, char **argv)
         .num(static_cast<long long>(c)).num(c / base_b, 2)
         .cell("7.9x");
     t.print();
+    ctx.table(t);
+    ctx.metric("crossbar_vs_b", a / base_b);
+    ctx.metric("one_per_pe_vs_b", c / base_b);
     std::printf("\nExpected shape (paper, renormalized to (b)): (a) "
                 "below (b); (c) roughly an order of magnitude above. "
                 "Our step-2 mapper removes (a)'s conflicts entirely "
                 "(the paper's 1x baseline is small but nonzero).\n"
                 "The paper selects (b): its conflicts cost ~1%% "
                 "latency but the missing crossbar saves ~9%% power.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -5,16 +5,15 @@
  */
 
 #include "arch/isa.hh"
-#include "bench/common.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
-    bench::banner("fig07_instruction_lengths", "Figure 7(a)");
+    bench::Context ctx(argc, argv, "fig07_instruction_lengths",
+                       "Figure 7(a)");
 
     ArchConfig cfg;
     cfg.depth = 3;
@@ -40,6 +39,8 @@ main(int argc, char **argv)
             .num(static_cast<long long>(lay.lengthBits(r.kind)))
             .num(static_cast<long long>(r.paper));
     t.print();
+    ctx.table(t);
+    ctx.metric("fetch_width_bits", lay.maxLengthBits());
     std::printf("\nIL (fetch width) = %u bits. Only exec deviates "
                 "(-4 bits: 4-bit PE opcode field vs. unspecified "
                 "encoding details in the paper).\n",
@@ -54,5 +55,6 @@ main(int argc, char **argv)
                 minedp.lengthBits(InstrKind::Store),
                 minedp.lengthBits(InstrKind::Copy4),
                 minedp.maxLengthBits());
-    return 0;
+    ctx.metric("minedp_fetch_width_bits", minedp.maxLengthBits());
+    return ctx.finish();
 }

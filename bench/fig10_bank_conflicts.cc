@@ -4,18 +4,19 @@
  * vs random bank allocation.
  */
 
-#include "bench/common.hh"
 #include "compiler/blocks.hh"
 #include "compiler/mapper.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig10_bank_conflicts", "Figure 10(b)");
+    bench::Context ctx(argc, argv, "fig10_bank_conflicts",
+                       "Figure 10(b)");
+    double scale = ctx.scale();
 
     ArchConfig cfg = minEdpConfig();
     TablePrinter t({"workload", "conflict-aware", "random", "ratio"});
@@ -39,6 +40,10 @@ main(int argc, char **argv)
             .num(ratio, 1);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("reduction_x",
+               smart_total ? double(naive_total) / smart_total
+                           : double(naive_total));
     std::printf("\nSuite total: conflict-aware %llu vs random %llu "
                 "(%.0fx reduction; paper reports 292x on its "
                 "workload).\n",
@@ -46,5 +51,5 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(naive_total),
                 smart_total ? double(naive_total) / smart_total
                             : double(naive_total));
-    return 0;
+    return ctx.finish();
 }

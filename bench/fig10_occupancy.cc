@@ -4,14 +4,14 @@
  * (R large enough) and with register spilling (R = 64).
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 #include "support/stats.hh"
 
 using namespace dpu;
 
 namespace {
 
-void
+uint64_t
 profile(const char *label, const Dag &dag, uint32_t regs_per_bank)
 {
     ArchConfig cfg = minEdpConfig();
@@ -45,6 +45,7 @@ profile(const char *label, const Dag &dag, uint32_t regs_per_bank)
         std::printf("\n");
     }
     std::printf("\n");
+    return prog.stats.spillStores;
 }
 
 } // namespace
@@ -52,15 +53,20 @@ profile(const char *label, const Dag &dag, uint32_t regs_per_bank)
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig10_occupancy", "Figure 10(c,d)",
-                  "Workload: bnetflix twin at the min-EDP datapath.");
+    bench::Context ctx(argc, argv, "fig10_occupancy",
+                       "Figure 10(c,d)",
+                       1.0,
+                       "Workload: bnetflix twin at the min-EDP "
+                       "datapath.");
+    double scale = ctx.scale();
 
     Dag dag = buildWorkloadDag(findWorkload("bnetflix"), scale);
-    profile("(c) without spilling", dag, 256);
-    profile("(d) with spilling", dag, 64);
+    uint64_t no_spill = profile("(c) without spilling", dag, 256);
+    uint64_t spill = profile("(d) with spilling", dag, 64);
+    ctx.metric("spill_stores_r256", double(no_spill));
+    ctx.metric("spill_stores_r64", double(spill));
     std::printf("Expected shape (paper): balanced occupancy across "
                 "banks; with a small R the profile saturates at R and "
                 "spilling activates.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -5,7 +5,7 @@
  * the three optima.
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 #include "model/dse.hh"
 
 using namespace dpu;
@@ -13,12 +13,12 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.3);
-    bench::banner("fig11_dse", "Figure 11 (a)-(c)",
-                  "Sweep of D in {1,2,3}, B in {8..64}, R in "
-                  "{16..128}; workloads scaled by " +
-                      std::to_string(scale) +
-                      " (use --full for paper-size workloads).");
+    bench::Context ctx(argc, argv, "fig11_dse", "Figure 11 (a)-(c)",
+                       0.3,
+                       "Sweep of D in {1,2,3}, B in {8..64}, R in "
+                       "{16..128} (use --full for paper-size "
+                       "workloads).");
+    double scale = ctx.scale();
 
     DseOptions opt;
     opt.workloadScale = scale;
@@ -41,6 +41,7 @@ main(int argc, char **argv)
             .num(p.powerWatts, 3);
     }
     t.print();
+    ctx.table(t);
 
     std::printf("\nmin latency: %s (paper: D3.B64.R128)\n",
                 pts[minLatencyIndex(pts)].cfg.label().c_str());
@@ -48,5 +49,9 @@ main(int argc, char **argv)
                 pts[minEnergyIndex(pts)].cfg.label().c_str());
     std::printf("min EDP:     %s (paper: D3.B64.R32)\n",
                 pts[minEdpIndex(pts)].cfg.label().c_str());
-    return 0;
+    ctx.note("min_latency", pts[minLatencyIndex(pts)].cfg.label());
+    ctx.note("min_energy", pts[minEnergyIndex(pts)].cfg.label());
+    ctx.note("min_edp", pts[minEdpIndex(pts)].cfg.label());
+    ctx.metric("min_edp_pj_ns", pts[minEdpIndex(pts)].edpPjNs);
+    return ctx.finish();
 }

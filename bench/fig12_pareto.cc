@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "bench/common.hh"
+#include "harness.hh"
 #include "model/dse.hh"
 
 using namespace dpu;
@@ -14,11 +14,12 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.15);
-    bench::banner("fig12_pareto", "Figure 12",
-                  "Latency-energy scatter; '*' marks the min-EDP "
-                  "design, 'o' points on its constant-EDP curve "
-                  "within 10%.");
+    bench::Context ctx(argc, argv, "fig12_pareto", "Figure 12",
+                       0.15,
+                       "Latency-energy scatter; '*' marks the min-EDP "
+                       "design, 'o' points on its constant-EDP curve "
+                       "within 10%.");
+    double scale = ctx.scale();
 
     DseOptions opt;
     opt.workloadScale = scale;
@@ -43,8 +44,10 @@ main(int argc, char **argv)
             .cell(mark);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("min_edp_pj_ns", min_edp);
     std::printf("\nExpected shape (paper): latency varies much more "
                 "than energy across the space (the constant-EDP curve "
                 "is shallow in the energy direction).\n");
-    return 0;
+    return ctx.finish();
 }

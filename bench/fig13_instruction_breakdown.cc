@@ -4,15 +4,16 @@
  * the min-EDP configuration.
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig13_instruction_breakdown", "Figure 13");
+    bench::Context ctx(argc, argv, "fig13_instruction_breakdown",
+                       "Figure 13");
+    double scale = ctx.scale();
 
     TablePrinter t({"workload", "exec %", "copy_4 %", "load %",
                     "store(+4) %", "nop %", "total instrs"});
@@ -35,9 +36,10 @@ main(int argc, char **argv)
             .num(static_cast<long long>(total));
     }
     t.print();
+    ctx.table(t);
     std::printf("\nExpected shape (paper): exec dominates; loads/"
                 "stores grow on SpTRSV (many one-shot coefficient "
                 "inputs) and on spill-heavy PCs; nops fill the "
                 "remaining hazards.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -5,8 +5,8 @@
  */
 
 #include "baselines/baselines.hh"
-#include "bench/common.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 #include "support/stats.hh"
 
 using namespace dpu;
@@ -14,8 +14,9 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("fig14a_throughput", "Figure 14(a) / Table III left");
+    bench::Context ctx(argc, argv, "fig14a_throughput",
+                       "Figure 14(a) / Table III left");
+    double scale = ctx.scale();
 
     TablePrinter t({"workload", "DPU-v2", "DPU", "CPU", "GPU",
                     "v2/DPU", "v2/CPU", "v2/GPU"});
@@ -23,9 +24,22 @@ main(int argc, char **argv)
     double v2_ops = 0, v2_sec = 0;
     double dpu_gops_sum = 0, cpu_gops_sum = 0, gpu_gops_sum = 0;
     int n = 0;
+    // Smallest compiled program of the sweep, kept for the batch-
+    // simulation measurement below.
+    CompiledProgram batch_prog;
+    std::vector<std::vector<double>> batch_inputs;
     for (const auto &spec : smallSuite()) {
         Dag raw = buildWorkloadDag(spec, scale);
         auto run = bench::runWorkload(raw, minEdpConfig());
+        if (batch_inputs.empty() ||
+            run.program.stats.numOperations <
+                batch_prog.stats.numOperations) {
+            batch_prog = run.program;
+            batch_inputs.clear();
+            for (uint64_t k = 0; k < 8; ++k)
+                batch_inputs.push_back(
+                    bench::randomInputs(raw, 100 + k));
+        }
         double v2 = run.program.stats.numOperations /
                     run.energy.seconds() * 1e-9;
         v2_ops += static_cast<double>(run.program.stats.numOperations);
@@ -54,6 +68,11 @@ main(int argc, char **argv)
             .num(r_gpu.back(), 2);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("geomean_vs_dpu", geomean(r_dpu));
+    ctx.metric("geomean_vs_cpu", geomean(r_cpu));
+    ctx.metric("geomean_vs_gpu", geomean(r_gpu));
+    ctx.metric("suite_gops", v2_ops / v2_sec * 1e-9);
     std::printf("\nGeomean speedups: vs DPU %.2fx (paper 1.4x), vs CPU "
                 "%.2fx (paper 4.2x), vs GPU %.2fx (paper 10.5x).\n",
                 geomean(r_dpu), geomean(r_cpu), geomean(r_gpu));
@@ -65,5 +84,9 @@ main(int argc, char **argv)
                 "except the most register-pressure-bound workloads "
                 "(bnetflix/sieber class), where DPU's scratchpad "
                 "prefetching wins.\n");
-    return 0;
+
+    // Batch-simulation measurement: 8 inputs through the paper's
+    // 4-core batch machine on the smallest program of the sweep.
+    bench::batchSimReport(ctx, batch_prog, batch_inputs, 4);
+    return ctx.finish();
 }

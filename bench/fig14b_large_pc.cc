@@ -11,8 +11,8 @@
  */
 
 #include "baselines/baselines.hh"
-#include "bench/common.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 #include "support/stats.hh"
 
 using namespace dpu;
@@ -20,21 +20,35 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.15);
-    bench::banner("fig14b_large_pc", "Figure 14(b) / Table III right",
-                  "Scale = " + std::to_string(scale) +
-                      " of the paper's node counts (--full for "
-                      "paper-size).");
+    bench::Context ctx(argc, argv, "fig14b_large_pc",
+                       "Figure 14(b) / Table III right",
+                       0.15,
+                       "Scale relative to the paper's node counts "
+                       "(--full for paper-size).");
+    double scale = ctx.scale();
     constexpr int batchCores = 4;
 
     TablePrinter t({"workload", "nodes", "DPU-v2 (L)", "SPU",
                     "CPU_SPU", "CPU", "GPU"});
     std::vector<double> r_spu, r_cpuspu, r_cpu, r_gpu;
+    // Smallest compiled program of the sweep, for the batch-
+    // simulation measurement below.
+    CompiledProgram batch_prog;
+    std::vector<std::vector<double>> batch_inputs;
     for (const auto &spec : largePcSuite()) {
         Dag raw = buildWorkloadDag(spec, scale);
         CompileOptions opt;
         opt.partitionNodes = 20000; // paper: 20k-node partitions
         auto run = bench::runWorkload(raw, largeConfig(), opt);
+        if (batch_inputs.empty() ||
+            run.program.stats.numOperations <
+                batch_prog.stats.numOperations) {
+            batch_prog = run.program;
+            batch_inputs.clear();
+            for (uint64_t k = 0; k < batchCores; ++k)
+                batch_inputs.push_back(
+                    bench::randomInputs(raw, 100 + k));
+        }
         // 4 cores execute 4 batch inputs in parallel.
         double v2 = batchCores * run.program.stats.numOperations /
                     run.energy.seconds() * 1e-9;
@@ -59,6 +73,11 @@ main(int argc, char **argv)
             .num(gpu.throughputGops, 2);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("geomean_vs_spu", geomean(r_spu));
+    ctx.metric("geomean_vs_cpu_spu", geomean(r_cpuspu));
+    ctx.metric("geomean_vs_cpu", geomean(r_cpu));
+    ctx.metric("geomean_vs_gpu", geomean(r_gpu));
     std::printf("\nGeomean speedups of DPU-v2 (L): vs SPU %.2fx "
                 "(paper 1.6x), vs CPU_SPU %.2fx (paper 20.7x), vs CPU "
                 "%.2fx (paper 19.2x), vs GPU %.2fx (paper 7.5x).\n",
@@ -67,5 +86,9 @@ main(int argc, char **argv)
     std::printf("Expected shape (paper): DPU-v2 (L) > SPU > GPU > "
                 "CPU on large PCs; GPU recovers on these sizes but "
                 "stays behind the specialized designs.\n");
-    return 0;
+
+    // Batch-simulation measurement: one input per model core through
+    // the threaded BatchMachine on the smallest large-PC program.
+    bench::batchSimReport(ctx, batch_prog, batch_inputs, batchCores);
+    return ctx.finish();
 }

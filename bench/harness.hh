@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The bench harness: every bench binary regenerates one table or
+ * figure of the paper (see the per-experiment index in each file's
+ * header) and goes through this harness for
+ *
+ *   - a uniform command line: --scale=<f> --full --quick
+ *     --json=<file> --threads=N,
+ *   - the human-readable banner + aligned tables (support/table.hh),
+ *   - machine-readable JSON output consumed by tools/run_benches,
+ *     which writes the BENCH_*.json perf-trajectory files,
+ *   - the registry that tells tools/run_benches which bench binaries
+ *     exist and how they map to paper elements.
+ *
+ * Library headers are included src-relative ("sim/machine.hh");
+ * bench binaries include this header file-relative ("harness.hh").
+ * Those are the only two include styles in the tree — the build adds
+ * no other include roots, so a third style cannot silently appear.
+ */
+
+#ifndef DPU_BENCH_HARNESS_HH
+#define DPU_BENCH_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "model/energy.hh"
+#include "sim/machine.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace bench {
+
+// ---------------------------------------------------------------- //
+// Workload helpers (shared by most benches).                       //
+// ---------------------------------------------------------------- //
+
+/** Everything one workload run produces. */
+struct RunResult
+{
+    CompiledProgram program;
+    SimResult sim;
+    EnergyBreakdown energy;
+};
+
+/** Deterministic inputs in the well-conditioned band. */
+std::vector<double> randomInputs(const Dag &dag, uint64_t seed);
+
+/** Compile + simulate (with functional check) + evaluate energy. */
+RunResult runWorkload(const Dag &dag, const ArchConfig &cfg,
+                      const CompileOptions &opt = {},
+                      uint64_t seed = 1);
+
+// ---------------------------------------------------------------- //
+// Registry.                                                        //
+// ---------------------------------------------------------------- //
+
+/** Static description of one bench binary. */
+struct BenchInfo
+{
+    const char *name;         ///< Binary name and JSON file stem.
+    const char *paperElement; ///< Figure/table it regenerates.
+    double defaultScale;      ///< Workload scale with no flags.
+};
+
+/** Every harness-driven bench binary, in paper order. */
+const std::vector<BenchInfo> &benchRegistry();
+
+/** Look a bench up by name; nullptr when unknown. */
+const BenchInfo *findBench(const std::string &name);
+
+// ---------------------------------------------------------------- //
+// Uniform CLI.                                                     //
+// ---------------------------------------------------------------- //
+
+/** Parsed uniform bench command line. */
+struct Options
+{
+    double scale = 1.0;    ///< Workload scale (--scale=f / --full).
+    bool quick = false;    ///< --quick: smoke-test sizes.
+    bool full = false;     ///< --full: paper-size workloads.
+    uint32_t threads = 1;  ///< --threads=N: host worker threads.
+    std::string jsonPath;  ///< --json=<file>: write a JSON report.
+};
+
+/**
+ * Parse `--scale=<f> --full --quick --json=<file> --threads=N`.
+ * `--quick` divides the default scale by 10 unless an explicit
+ * `--scale`/`--full` overrides it. Unknown flags are fatal (exit 1)
+ * so CI catches typos.
+ */
+Options parseOptions(int argc, char **argv, double default_scale);
+
+// ---------------------------------------------------------------- //
+// Per-bench context: banner in, JSON report out.                   //
+// ---------------------------------------------------------------- //
+
+/**
+ * One per bench main(). Parses the uniform CLI, prints the banner,
+ * accumulates tables/metrics, and writes the JSON report on
+ * finish(). Typical shape:
+ *
+ *     bench::Context ctx(argc, argv, "fig10_bank_conflicts",
+ *                        "Figure 10(b)");
+ *     ...
+ *     t.print();
+ *     ctx.table(t);
+ *     ctx.metric("reduction_x", reduction);
+ *     return ctx.finish();
+ */
+class Context
+{
+  public:
+    Context(int argc, char **argv, const std::string &name,
+            const std::string &paper_element,
+            double default_scale = 1.0, const std::string &note = "");
+
+    double scale() const { return opts.scale; }
+    uint32_t threads() const { return opts.threads; }
+    bool quick() const { return opts.quick; }
+    const Options &options() const { return opts; }
+
+    /** Record a table for the JSON report (print it yourself). */
+    void table(const TablePrinter &t, const std::string &label = "main");
+
+    /** Record one headline number for the perf trajectory. */
+    void metric(const std::string &key, double value);
+
+    /** Record a free-form string annotation. */
+    void note(const std::string &key, const std::string &value);
+
+    /**
+     * Write the JSON report when --json was given. Returns the
+     * process exit code (0, or 1 when the report cannot be written).
+     */
+    int finish();
+
+  private:
+    struct NamedTable
+    {
+        std::string label;
+        std::vector<std::string> columns;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    std::string name;
+    std::string paperElement;
+    Options opts;
+    std::vector<NamedTable> tables;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, std::string>> notes;
+};
+
+// ---------------------------------------------------------------- //
+// Host-parallelism + JSON utilities.                               //
+// ---------------------------------------------------------------- //
+
+/**
+ * Run fn(0..n-1) on up to `threads` std::thread workers (dynamic
+ * work stealing over an atomic index; the iteration space is
+ * partitioned, never replicated). With threads <= 1 this is a plain
+ * loop. The first exception thrown by any worker is rethrown on the
+ * caller after all workers joined.
+ */
+void parallelFor(size_t n, uint32_t threads,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * The shared batch-simulation measurement of the batch throughput
+ * benches (fig14a/fig14b): run `inputs` through a BatchMachine with
+ * `cores` model cores and ctx.threads() host workers, print the
+ * modeled GOPS + host wall time, and record the batch_modeled_gops /
+ * batch_host_seconds / batch_host_threads metrics. The modeled
+ * numbers are thread-count-independent; only the host seconds drop
+ * as --threads grows.
+ */
+void batchSimReport(Context &ctx, const CompiledProgram &prog,
+                    const std::vector<std::vector<double>> &inputs,
+                    uint32_t cores);
+
+/**
+ * Minimal JSON well-formedness check (objects/arrays/strings/
+ * numbers/bools/null, full nesting). Used by tools/run_benches and
+ * the CI smoke job to validate BENCH_*.json files.
+ */
+bool validJson(const std::string &text, std::string *error = nullptr);
+
+/** validJson() over a file's contents; false when unreadable. */
+bool validJsonFile(const std::string &path,
+                   std::string *error = nullptr);
+
+} // namespace bench
+} // namespace dpu
+
+#endif // DPU_BENCH_HARNESS_HH

@@ -4,7 +4,7 @@
  * with the workload-averaged power from simulation-driven activity.
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 #include "model/energy.hh"
 
 using namespace dpu;
@@ -12,10 +12,11 @@ using namespace dpu;
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.5);
-    bench::banner("table2_area_power", "Table II",
-                  "Activity from simulating the suite at scale " +
-                      std::to_string(scale) + " (--full).");
+    bench::Context ctx(argc, argv, "table2_area_power", "Table II",
+                       0.5,
+                       "Activity from simulating the suite "
+                       "(--full for paper-size).");
+    double scale = ctx.scale();
 
     ArchConfig cfg = minEdpConfig();
     auto area = areaOf(cfg);
@@ -57,5 +58,8 @@ main(int argc, char **argv)
         .num(mw_total, 1)
         .num(108.9, 1);
     t.print();
-    return 0;
+    ctx.table(t);
+    ctx.metric("area_mm2", area.total);
+    ctx.metric("power_mw", mw_total);
+    return ctx.finish();
 }

@@ -5,8 +5,8 @@
  */
 
 #include "baselines/baselines.hh"
-#include "bench/common.hh"
 #include "dag/binarize.hh"
+#include "harness.hh"
 #include "model/energy.hh"
 
 using namespace dpu;
@@ -24,7 +24,8 @@ struct Platform
 };
 
 void
-printPlatforms(const std::vector<Platform> &ps, double base_gops)
+printPlatforms(bench::Context &ctx, const char *label,
+               const std::vector<Platform> &ps, double base_gops)
 {
     TablePrinter t({"platform", "tech", "freq GHz", "area mm2",
                     "GOPS", "speedup", "power W", "EDP pJ*ns"});
@@ -46,6 +47,8 @@ printPlatforms(const std::vector<Platform> &ps, double base_gops)
             .num(e_op_pj * t_op_ns, 1);
     }
     t.print();
+    ctx.table(t, label);
+    ctx.metric(std::string(label) + "_gops", ps[0].gops);
     std::printf("\n");
 }
 
@@ -54,12 +57,12 @@ printPlatforms(const std::vector<Platform> &ps, double base_gops)
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 0.5);
+    bench::Context ctx(argc, argv, "table3_comparison", "Table III",
+                       0.5,
+                       "Large-PC scale = 0.3 x the suite scale "
+                       "(--full).");
+    double scale = ctx.scale();
     double large_scale = scale * 0.3;
-    bench::banner(
-        "table3_comparison", "Table III",
-        "Suite scale = " + std::to_string(scale) + ", large-PC scale = " +
-            std::to_string(large_scale) + " (--full).");
 
     // ----- Small suite: DPU-v2 vs DPU vs CPU vs GPU.
     double v2_ops = 0, v2_sec = 0, v2_pj = 0;
@@ -84,6 +87,7 @@ main(int argc, char **argv)
     double cpu_gops = cpu_ops / cpu_sec * 1e-9;
     std::printf("PC (a) and SpTRSV (b) workloads:\n");
     printPlatforms(
+        ctx, "small_suite",
         {
             {"DPU-v2 (ours)", v2_ops / v2_sec * 1e-9,
              areaOf(minEdpConfig()).total, v2_pj * 1e-12 / v2_sec,
@@ -128,6 +132,7 @@ main(int argc, char **argv)
                double(largeConfig().dataMemRows) * 64 * 4).total;
     std::printf("Large PC (c) workloads:\n");
     printPlatforms(
+        ctx, "large_suite",
         {
             {"DPU-v2 (L, 4 cores)", l_ops / l_sec * 1e-9, l_area,
              batchCores * l_pj * 1e-12 / (batchCores * l_sec), "28nm",
@@ -144,5 +149,5 @@ main(int argc, char **argv)
     std::printf("Paper row: 34.6 / 22.2 / 1.7 / 1.8 / 4.6 GOPS; "
                 "speedups 20.7x / 13.3x / 1x / 1.1x / 2.8x; EDP 1.0 / "
                 "57.4 / 36k / 27k / 9k.\n");
-    return 0;
+    return ctx.finish();
 }

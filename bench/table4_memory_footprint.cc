@@ -5,16 +5,17 @@
  * instruction+data footprint undercuts the CSR representation ~48%.
  */
 
-#include "bench/common.hh"
+#include "harness.hh"
 
 using namespace dpu;
 
 int
 main(int argc, char **argv)
 {
-    double scale = bench::parseScale(argc, argv, 1.0);
-    bench::banner("table4_memory_footprint",
-                  "§III-B (30% program-size) and §IV-E (48% vs CSR)");
+    bench::Context ctx(argc, argv, "table4_memory_footprint",
+                       "§III-B (30% program-size) and §IV-E (48% vs "
+                       "CSR)");
+    double scale = ctx.scale();
 
     TablePrinter t({"workload", "program KB", "explicit-wr KB",
                     "auto-wr saves %", "prog+data KB", "CSR KB",
@@ -42,10 +43,14 @@ main(int argc, char **argv)
         sum_explicit += double(s.programBitsExplicitWrites);
     }
     t.print();
+    ctx.table(t);
+    ctx.metric("auto_write_saves_pct",
+               100.0 * (1.0 - sum_auto / sum_explicit));
+    ctx.metric("vs_csr_saves_pct", 100.0 * (1.0 - sum_ours / sum_csr));
     std::printf("\nSuite totals: automatic write addressing saves "
                 "%.0f%% program size (paper: ~30%%); instructions+"
                 "data are %.0f%% smaller than CSR (paper: 48%%).\n",
                 100.0 * (1.0 - sum_auto / sum_explicit),
                 100.0 * (1.0 - sum_ours / sum_csr));
-    return 0;
+    return ctx.finish();
 }

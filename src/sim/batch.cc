@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace dpu {
 
 BatchMachine::BatchMachine(const CompiledProgram &program, uint32_t n,
-                           uint64_t ops)
-    : prog(program), cores(n), operations(ops)
+                           uint64_t ops, uint32_t host_threads)
+    : prog(program), cores(n), operations(ops),
+      threads(host_threads < 1 ? 1 : host_threads)
 {
     dpu_assert(cores >= 1, "need at least one core");
 }
@@ -17,20 +19,26 @@ BatchResult
 BatchMachine::run(const std::vector<std::vector<double>> &inputs)
 {
     BatchResult out;
-    out.runs.reserve(inputs.size());
+    out.runs.resize(inputs.size());
 
-    // Each core executes ceil(batch/cores) back-to-back programs;
-    // the wall clock is the busiest core (they are identical, so
-    // that is simply the slice count times the program length).
+    // Simulate every input into its submission-order slot. Machine
+    // runs are independent (a Machine holds no cross-run state), so
+    // the per-slot results — and everything folded from them below —
+    // are identical for any host thread count.
+    parallelFor(inputs.size(), threads, [&](size_t k) {
+        out.runs[k] = Machine(prog).run(inputs[k]);
+    });
+
+    // Fold the model-core accounting in submission order: each model
+    // core executes ceil(batch/cores) back-to-back programs and the
+    // wall clock is the busiest core (they run in lockstep over
+    // round-robin slices).
     std::vector<uint64_t> core_cycles(cores, 0);
-    Machine machine(prog);
-    for (size_t k = 0; k < inputs.size(); ++k) {
-        SimResult res = machine.run(inputs[k]);
-        core_cycles[k % cores] += res.stats.cycles;
+    for (size_t k = 0; k < out.runs.size(); ++k) {
+        core_cycles[k % cores] += out.runs[k].stats.cycles;
         out.totalOperations += operations;
-        out.runs.push_back(std::move(res));
     }
-    out.wallCycles = core_cycles.empty()
+    out.wallCycles = out.runs.empty()
         ? 0
         : *std::max_element(core_cycles.begin(), core_cycles.end());
     return out;

@@ -5,6 +5,15 @@
  * benchmarking) or execute different DAGs". A BatchMachine runs one
  * compiled program over a batch of input vectors across N model
  * cores and reports aggregate throughput-relevant statistics.
+ *
+ * The *model* core count sets the round-robin slicing and the wall
+ * clock of the simulated machine; independently, the per-input
+ * simulations can be spread over a pool of *host* std::thread
+ * workers (`threads`). Host threading changes only how fast the
+ * simulation itself runs: every input is simulated by a private
+ * Machine whose result lands in its submission-order slot, and the
+ * cycle accounting is folded afterwards in that order, so the
+ * BatchResult is byte-identical for any thread count.
  */
 
 #ifndef DPU_SIM_BATCH_HH
@@ -47,12 +56,15 @@ class BatchMachine
     /**
      * @param program Compiled program (shared by all cores — the
      *        static-DAG scenario).
-     * @param cores Core count (the paper's large system uses 4).
+     * @param cores Model core count (the paper's large system uses
+     *        4); sets the round-robin slicing and the wall clock.
      * @param operations Operations per program execution (for
      *        throughput accounting).
+     * @param threads Host worker threads simulating the batch
+     *        (default 1 = sequential). Does not affect the result.
      */
     BatchMachine(const CompiledProgram &program, uint32_t cores,
-                 uint64_t operations);
+                 uint64_t operations, uint32_t threads = 1);
 
     /** Run every input vector; inputs are dealt round-robin. */
     BatchResult run(const std::vector<std::vector<double>> &inputs);
@@ -61,6 +73,7 @@ class BatchMachine
     const CompiledProgram &prog;
     uint32_t cores;
     uint64_t operations;
+    uint32_t threads;
 };
 
 } // namespace dpu

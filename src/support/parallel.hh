@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A minimal parallel-for over an index space: up to `threads`
+ * std::thread workers pull indices from a shared atomic counter
+ * (dynamic work stealing — the space is partitioned, never
+ * replicated), so results keyed by index are identical for any
+ * thread count. The first exception thrown by any worker stops the
+ * pool and is rethrown on the caller after all workers joined.
+ *
+ * Shared by the simulator's BatchMachine and the bench harness.
+ */
+
+#ifndef DPU_SUPPORT_PARALLEL_HH
+#define DPU_SUPPORT_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpu {
+
+/** Run fn(0..n-1) on up to `threads` workers; plain loop when <= 1. */
+template <typename Fn>
+void
+parallelFor(size_t n, uint32_t threads, Fn &&fn)
+{
+    size_t workers = threads;
+    if (workers > n)
+        workers = n;
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto body = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace dpu
+
+#endif // DPU_SUPPORT_PARALLEL_HH

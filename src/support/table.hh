@@ -110,6 +110,20 @@ class TablePrinter
             csv_row(r);
     }
 
+    /** Column headers (for machine-readable re-emission). */
+    const std::vector<std::string> &
+    header() const
+    {
+        return columns;
+    }
+
+    /** Row cells, as formatted (for machine-readable re-emission). */
+    const std::vector<std::vector<std::string>> &
+    data() const
+    {
+        return rows;
+    }
+
   private:
     std::vector<std::string> columns;
     std::vector<std::vector<std::string>> rows;

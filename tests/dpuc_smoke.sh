@@ -1,0 +1,64 @@
+#!/bin/sh
+# CTest smoke test for the dpuc CLI exit-code contract:
+#   0 = success, 1 = user error, 2 = internal error.
+# Usage: dpuc_smoke.sh <path-to-dpuc>
+set -u
+
+DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc>}"
+TMP=$(mktemp -d) || exit 125
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+check() {
+    expected="$1"
+    desc="$2"
+    shift 2
+    "$@" >"$TMP/out" 2>"$TMP/err"
+    got=$?
+    if [ "$got" -ne "$expected" ]; then
+        echo "FAIL: $desc: expected exit $expected, got $got"
+        sed 's/^/  stderr: /' "$TMP/err"
+        fails=$((fails + 1))
+    else
+        echo "ok: $desc (exit $got)"
+    fi
+}
+
+# A tiny valid DAG: out = (a + b) * (a + b).
+cat > "$TMP/tiny.dag" <<EOF
+dpu-dag v1 4
+i
+i
++ 0 1
+* 2 2
+EOF
+
+# Successes (exit 0).
+check 0 "compile" "$DPUC" "$TMP/tiny.dag"
+check 0 "--disasm" "$DPUC" "$TMP/tiny.dag" --disasm
+check 0 "--simulate" "$DPUC" "$TMP/tiny.dag" --simulate
+check 0 "--optimize --simulate" \
+    "$DPUC" "$TMP/tiny.dag" --optimize --simulate
+check 0 "--out + --dot" \
+    "$DPUC" "$TMP/tiny.dag" --out="$TMP/tiny.bin" --dot="$TMP/tiny.dot"
+[ -s "$TMP/tiny.bin" ] || {
+    echo "FAIL: --out wrote no binary image"
+    fails=$((fails + 1))
+}
+
+# User errors (exit 1).
+check 1 "bad flag" "$DPUC" "$TMP/tiny.dag" --no-such-flag
+check 1 "no input file" "$DPUC"
+check 1 "missing dag file" "$DPUC" "$TMP/does-not-exist.dag"
+check 1 "two input files" "$DPUC" "$TMP/tiny.dag" "$TMP/tiny.dag"
+
+# Malformed DAG file: a user error, not an internal crash.
+printf 'not a dag\n' > "$TMP/bad.dag"
+check 1 "malformed dag" "$DPUC" "$TMP/bad.dag"
+
+if [ "$fails" -ne 0 ]; then
+    echo "dpuc_smoke: $fails check(s) failed"
+    exit 1
+fi
+echo "dpuc_smoke: all checks passed"
+exit 0

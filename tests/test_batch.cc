@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Edge-case and determinism tests for the batch machine: zero-cycle
+ * throughput, empty batches, and byte-identical results between the
+ * sequential path and the std::thread worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "sim/batch.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+smallConfig()
+{
+    ArchConfig c;
+    c.depth = 2;
+    c.banks = 8;
+    c.regsPerBank = 32;
+    return c;
+}
+
+std::vector<std::vector<double>>
+makeBatch(const Dag &d, size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> batch;
+    for (size_t k = 0; k < count; ++k) {
+        std::vector<double> in(d.numInputs());
+        for (auto &x : in)
+            x = 0.5 + rng.uniform();
+        batch.push_back(std::move(in));
+    }
+    return batch;
+}
+
+void
+expectIdenticalResults(const BatchResult &a, const BatchResult &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    EXPECT_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.totalOperations, b.totalOperations);
+    for (size_t k = 0; k < a.runs.size(); ++k) {
+        const SimResult &ra = a.runs[k];
+        const SimResult &rb = b.runs[k];
+        ASSERT_EQ(ra.outputs.size(), rb.outputs.size());
+        for (size_t i = 0; i < ra.outputs.size(); ++i)
+            // Byte-identical, not just approximately equal: the
+            // same Machine must have produced the same bits.
+            EXPECT_EQ(ra.outputs[i], rb.outputs[i])
+                << "run " << k << " output " << i;
+        EXPECT_EQ(ra.stats.cycles, rb.stats.cycles);
+        EXPECT_EQ(ra.stats.kindCount, rb.stats.kindCount);
+        EXPECT_EQ(ra.stats.bankReads, rb.stats.bankReads);
+        EXPECT_EQ(ra.stats.bankWrites, rb.stats.bankWrites);
+        EXPECT_EQ(ra.stats.peOperations, rb.stats.peOperations);
+        EXPECT_EQ(ra.stats.pePassThroughs, rb.stats.pePassThroughs);
+        EXPECT_EQ(ra.stats.crossbarTransfers,
+                  rb.stats.crossbarTransfers);
+        EXPECT_EQ(ra.stats.memReads, rb.stats.memReads);
+        EXPECT_EQ(ra.stats.memWrites, rb.stats.memWrites);
+        EXPECT_EQ(ra.stats.instrBitsFetched,
+                  rb.stats.instrBitsFetched);
+        EXPECT_EQ(ra.stats.peakLiveRegisters,
+                  rb.stats.peakLiveRegisters);
+    }
+}
+
+TEST(BatchResult, ZeroWallCyclesThroughputIsZero)
+{
+    BatchResult r;
+    r.wallCycles = 0;
+    r.totalOperations = 12345; // inconsistent on purpose
+    EXPECT_EQ(r.throughputGops(300e6), 0.0);
+}
+
+TEST(BatchMachine, EmptyBatch)
+{
+    Dag d = generateRandomDag(8, 100, 41);
+    auto prog = compile(d, smallConfig());
+    BatchMachine bm(prog, 4, prog.stats.numOperations);
+    auto r = bm.run({});
+    EXPECT_TRUE(r.runs.empty());
+    EXPECT_EQ(r.wallCycles, 0u);
+    EXPECT_EQ(r.totalOperations, 0u);
+    EXPECT_EQ(r.throughputGops(300e6), 0.0);
+}
+
+TEST(BatchMachine, EmptyBatchThreaded)
+{
+    Dag d = generateRandomDag(8, 100, 42);
+    auto prog = compile(d, smallConfig());
+    BatchMachine bm(prog, 4, prog.stats.numOperations, 8);
+    auto r = bm.run({});
+    EXPECT_TRUE(r.runs.empty());
+    EXPECT_EQ(r.wallCycles, 0u);
+}
+
+TEST(BatchMachine, ThreadedMatchesSequential)
+{
+    Dag d = generateRandomDag(16, 600, 43);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 7, 44);
+
+    BatchMachine seq(prog, 4, prog.stats.numOperations, 1);
+    BatchMachine par(prog, 4, prog.stats.numOperations, 4);
+    auto r1 = seq.run(batch);
+    auto r4 = par.run(batch);
+    ASSERT_EQ(r1.runs.size(), 7u);
+    expectIdenticalResults(r1, r4);
+}
+
+TEST(BatchMachine, MoreThreadsThanInputs)
+{
+    Dag d = generateRandomDag(8, 150, 45);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 3, 46);
+
+    BatchMachine seq(prog, 2, prog.stats.numOperations, 1);
+    BatchMachine par(prog, 2, prog.stats.numOperations, 16);
+    expectIdenticalResults(seq.run(batch), par.run(batch));
+}
+
+TEST(BatchMachine, ThreadCountDoesNotChangeModelClock)
+{
+    // The host worker pool must not leak into the modeled machine:
+    // wall cycles depend only on cores and the batch.
+    Dag d = generateRandomDag(8, 150, 47);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 5, 48);
+
+    BatchMachine four_cores(prog, 4, prog.stats.numOperations, 3);
+    auto r = four_cores.run(batch);
+    // Core 0 gets 2 slices, the rest 1: wall = 2 runs.
+    EXPECT_EQ(r.wallCycles, 2 * prog.stats.cycles);
+}
+
+} // namespace
+} // namespace dpu

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * run_benches — drives every registered bench binary (see
+ * bench/harness.cc's registry) with the uniform CLI and collects
+ * machine-readable reports:
+ *
+ *     run_benches [--quick|--full] [--threads=N] [--only=<substr>]
+ *                 [--outdir=<dir>] [--bindir=<dir>] [--list]
+ *
+ * For each bench `foo` it runs `<bindir>/foo [flags] --json=
+ * <outdir>/BENCH_foo.json`, then validates that the report parses as
+ * JSON. <bindir> defaults to the bench/ directory next to this
+ * binary's own location (the build-tree layout); <outdir> defaults
+ * to the current directory. Exit code is the number of failed
+ * benches (capped at 125).
+ *
+ * A checked-in wrapper script at tools/run_benches lets this be
+ * invoked from the repo root as `tools/run_benches --quick` once the
+ * tree is built into ./build.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "support/table.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace dpu;
+
+namespace {
+
+struct DriverArgs
+{
+    bool quick = false;
+    bool full = false;
+    bool list = false;
+    uint32_t threads = 1;
+    std::string only;
+    std::string outdir = ".";
+    std::string bindir;
+};
+
+bool
+parseDriverArgs(int argc, char **argv, DriverArgs &args)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--quick") == 0)
+            args.quick = true;
+        else if (std::strcmp(a, "--full") == 0)
+            args.full = true;
+        else if (std::strcmp(a, "--list") == 0)
+            args.list = true;
+        else if (std::strncmp(a, "--threads=", 10) == 0) {
+            int n = std::atoi(a + 10);
+            args.threads = n < 1 ? 1 : static_cast<uint32_t>(n);
+        } else if (std::strncmp(a, "--only=", 7) == 0)
+            args.only = a + 7;
+        else if (std::strncmp(a, "--outdir=", 9) == 0)
+            args.outdir = a + 9;
+        else if (std::strncmp(a, "--bindir=", 9) == 0)
+            args.bindir = a + 9;
+        else {
+            std::fprintf(stderr,
+                         "run_benches: unknown option '%s'\n"
+                         "usage: run_benches [--quick|--full] "
+                         "[--threads=N] [--only=<substr>] "
+                         "[--outdir=<dir>] [--bindir=<dir>] "
+                         "[--list]\n",
+                         a);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Directory holding this binary, from argv[0] / /proc/self/exe. */
+std::string
+selfDirectory(const char *argv0)
+{
+#if defined(__linux__)
+    char buf[4096];
+    ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string path(buf);
+        size_t slash = path.rfind('/');
+        if (slash != std::string::npos)
+            return path.substr(0, slash);
+    }
+#endif
+    std::string path(argv0 ? argv0 : "");
+    size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Shell-quote one argument (single quotes, POSIX). */
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DriverArgs args;
+    if (!parseDriverArgs(argc, argv, args))
+        return 125;
+    if (args.bindir.empty())
+        args.bindir = selfDirectory(argv[0]) + "/../bench";
+
+    if (args.list) {
+        TablePrinter t({"bench", "paper element", "default scale"});
+        for (const auto &b : bench::benchRegistry())
+            t.row().cell(b.name).cell(b.paperElement)
+                .num(b.defaultScale, 2);
+        t.print();
+        return 0;
+    }
+
+    std::printf("run_benches: %zu registered benches, bindir=%s, "
+                "outdir=%s%s\n\n",
+                bench::benchRegistry().size(), args.bindir.c_str(),
+                args.outdir.c_str(),
+                args.quick ? ", --quick" : args.full ? ", --full" : "");
+
+    int failures = 0;
+    int ran = 0;
+    TablePrinter summary({"bench", "status", "report"});
+    for (const auto &b : bench::benchRegistry()) {
+        if (!args.only.empty() &&
+            std::string(b.name).find(args.only) == std::string::npos)
+            continue;
+        ++ran;
+        std::string report =
+            args.outdir + "/BENCH_" + b.name + ".json";
+        std::string cmd = shellQuote(args.bindir + "/" + b.name);
+        if (args.quick)
+            cmd += " --quick";
+        if (args.full)
+            cmd += " --full";
+        if (args.threads > 1)
+            cmd += " --threads=" + std::to_string(args.threads);
+        cmd += " --json=" + shellQuote(report);
+        std::printf("--- %s\n", cmd.c_str());
+        std::fflush(stdout);
+
+        int rc = std::system(cmd.c_str());
+        std::string status = "ok";
+        if (rc != 0) {
+            // std::system returns a wait status; decode it.
+#if defined(WIFEXITED)
+            if (WIFEXITED(rc))
+                status = "FAILED (exit " +
+                         std::to_string(WEXITSTATUS(rc)) + ")";
+            else if (WIFSIGNALED(rc))
+                status = "FAILED (signal " +
+                         std::to_string(WTERMSIG(rc)) + ")";
+            else
+#endif
+                status = "FAILED (status " + std::to_string(rc) + ")";
+        } else {
+            std::string error;
+            if (!bench::validJsonFile(report, &error))
+                status = "BAD JSON (" + error + ")";
+        }
+        if (status != "ok")
+            ++failures;
+        summary.row().cell(b.name).cell(status).cell(report);
+        std::printf("\n");
+    }
+
+    std::printf("=== run_benches summary ===\n");
+    summary.print();
+    if (ran == 0) {
+        std::fprintf(stderr, "run_benches: no bench matched '%s'\n",
+                     args.only.c_str());
+        return 125;
+    }
+    std::printf("%d/%d ok\n", ran - failures, ran);
+    return failures > 125 ? 125 : failures;
+}
