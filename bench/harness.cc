@@ -34,10 +34,12 @@ randomInputs(const Dag &dag, uint64_t seed)
 
 RunResult
 runWorkload(const Dag &dag, const ArchConfig &cfg,
-            const CompileOptions &opt, uint64_t seed)
+            const CompileOptions &opt, uint64_t seed,
+            ProgramCache *cache)
 {
     RunResult r;
-    r.program = compile(dag, cfg, opt);
+    r.program = cache ? cache->compile(dag, cfg, opt)
+                      : compile(dag, cfg, opt);
     r.sim = runAndCheck(r.program, dag, randomInputs(dag, seed));
     r.energy = energyOf(cfg, r.sim.stats,
                         r.program.stats.numOperations);
@@ -109,11 +111,16 @@ parseOptions(int argc, char **argv, double default_scale)
         } else if (std::strncmp(a, "--threads=", 10) == 0) {
             int n = std::atoi(a + 10);
             o.threads = n < 1 ? 1 : static_cast<uint32_t>(n);
+        } else if (std::strncmp(a, "--cache-dir=", 12) == 0) {
+            o.cacheDir = a + 12;
+        } else if (std::strcmp(a, "--no-cache") == 0) {
+            o.noCache = true;
         } else {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
                          "usage: bench [--scale=<f>] [--full] "
-                         "[--quick] [--json=<file>] [--threads=N]\n",
+                         "[--quick] [--json=<file>] [--threads=N] "
+                         "[--cache-dir=<dir>] [--no-cache]\n",
                          a);
             std::exit(1);
         }
@@ -138,6 +145,11 @@ Context::Context(int argc, char **argv, const std::string &name_,
     : name(name_), paperElement(paper_element),
       opts(parseOptions(argc, argv, default_scale))
 {
+    if (!opts.noCache) {
+        ProgramCacheConfig cc;
+        cc.diskDir = opts.cacheDir;
+        programCache = std::make_unique<ProgramCache>(cc);
+    }
     std::printf("=== %s — reproduces %s ===\n", name.c_str(),
                 paperElement.c_str());
     if (!note_.empty())
@@ -145,6 +157,9 @@ Context::Context(int argc, char **argv, const std::string &name_,
     if (opts.quick)
         std::printf("(--quick: smoke-test sizes, scale=%g)\n",
                     opts.scale);
+    if (!opts.cacheDir.empty())
+        std::printf("(program cache spills to %s)\n",
+                    opts.cacheDir.c_str());
     std::printf("\n");
 }
 
@@ -211,6 +226,14 @@ jsonNumber(double v)
 int
 Context::finish()
 {
+    if (programCache) {
+        ProgramCache::Stats cs = programCache->stats();
+        if (cs.hits + cs.diskHits + cs.misses) {
+            metric("cache_hits", static_cast<double>(cs.hits));
+            metric("cache_disk_hits", static_cast<double>(cs.diskHits));
+            metric("cache_misses", static_cast<double>(cs.misses));
+        }
+    }
     if (opts.jsonPath.empty())
         return 0;
 

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "compiler/cache.hh"
 #include "compiler/compiler.hh"
 #include "model/energy.hh"
 #include "sim/machine.hh"
@@ -51,10 +53,14 @@ struct RunResult
 /** Deterministic inputs in the well-conditioned band. */
 std::vector<double> randomInputs(const Dag &dag, uint64_t seed);
 
-/** Compile + simulate (with functional check) + evaluate energy. */
+/** Compile + simulate (with functional check) + evaluate energy.
+ *  When `cache` is given the compile goes through it (see
+ *  Context::cache()), so identical (DAG, config, options) pairs are
+ *  compiled once per cache — or once per bench *sweep* with the
+ *  on-disk spill tools/run_benches sets up. */
 RunResult runWorkload(const Dag &dag, const ArchConfig &cfg,
                       const CompileOptions &opt = {},
-                      uint64_t seed = 1);
+                      uint64_t seed = 1, ProgramCache *cache = nullptr);
 
 // ---------------------------------------------------------------- //
 // Registry.                                                        //
@@ -86,13 +92,15 @@ struct Options
     bool full = false;     ///< --full: paper-size workloads.
     uint32_t threads = 1;  ///< --threads=N: host worker threads.
     std::string jsonPath;  ///< --json=<file>: write a JSON report.
+    std::string cacheDir;  ///< --cache-dir=<dir>: on-disk spill.
+    bool noCache = false;  ///< --no-cache: disable the program cache.
 };
 
 /**
- * Parse `--scale=<f> --full --quick --json=<file> --threads=N`.
- * `--quick` divides the default scale by 10 unless an explicit
- * `--scale`/`--full` overrides it. Unknown flags are fatal (exit 1)
- * so CI catches typos.
+ * Parse `--scale=<f> --full --quick --json=<file> --threads=N
+ * --cache-dir=<dir> --no-cache`. `--quick` divides the default scale
+ * by 10 unless an explicit `--scale`/`--full` overrides it. Unknown
+ * flags are fatal (exit 1) so CI catches typos.
  */
 Options parseOptions(int argc, char **argv, double default_scale);
 
@@ -125,6 +133,11 @@ class Context
     bool quick() const { return opts.quick; }
     const Options &options() const { return opts; }
 
+    /** The bench's program cache (in-memory LRU, plus the on-disk
+     *  spill when --cache-dir was given); nullptr with --no-cache.
+     *  finish() records its hit/miss counters as metrics. */
+    ProgramCache *cache() { return programCache.get(); }
+
     /** Record a table for the JSON report (print it yourself). */
     void table(const TablePrinter &t, const std::string &label = "main");
 
@@ -151,6 +164,7 @@ class Context
     std::string name;
     std::string paperElement;
     Options opts;
+    std::unique_ptr<ProgramCache> programCache;
     std::vector<NamedTable> tables;
     std::vector<std::pair<std::string, double>> metrics;
     std::vector<std::pair<std::string, std::string>> notes;

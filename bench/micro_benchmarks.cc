@@ -1,11 +1,23 @@
 /**
  * @file
  * Google-benchmark micro-benchmarks of the toolchain itself:
- * compiler throughput, simulator speed, encode/decode bandwidth.
- * Not a paper figure — engineering health of the reproduction.
+ * compiler throughput (single-threaded and partition-parallel),
+ * simulator speed, encode/decode bandwidth. Not a paper figure —
+ * engineering health of the reproduction.
+ *
+ * The main() accepts three harness-style flags so tools/run_benches
+ * can drive this binary alongside the paper benches: `--quick`
+ * (shrink the fixture DAG for a smoke pass), `--threads=N` (workers
+ * for the parallel-compile benchmark) and `--json=<file>` (alias for
+ * --benchmark_out=<file> --benchmark_out_format=json). Everything
+ * else is passed to google-benchmark untouched.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "arch/isa.hh"
 #include "compiler/compiler.hh"
@@ -17,12 +29,15 @@
 namespace dpu {
 namespace {
 
+bool g_quick = false;
+uint32_t g_threads = 2;
+
 Dag &
 benchDag()
 {
     static Dag dag = [] {
         PcParams p;
-        p.targetOperations = 20000;
+        p.targetOperations = g_quick ? 2000 : 20000;
         p.depth = 32;
         p.seed = 5;
         return generatePc(p);
@@ -49,6 +64,23 @@ BM_CompileMinEdp(benchmark::State &state)
                             int64_t(d.numOperations()));
 }
 BENCHMARK(BM_CompileMinEdp)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileParallelPartitions(benchmark::State &state)
+{
+    const Dag &d = benchDag();
+    CompileOptions opt;
+    opt.partitionNodes = g_quick ? 250 : 2000;
+    opt.threads = g_threads;
+    for (auto _ : state) {
+        auto prog = compile(d, minEdpConfig(), opt);
+        benchmark::DoNotOptimize(prog.instructions.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            int64_t(d.numOperations()));
+    state.counters["threads"] = g_threads;
+}
+BENCHMARK(BM_CompileParallelPartitions)->Unit(benchmark::kMillisecond);
 
 void
 BM_Simulate(benchmark::State &state)
@@ -117,4 +149,38 @@ BENCHMARK(BM_ReferenceEvaluate)->Unit(benchmark::kMillisecond);
 } // namespace
 } // namespace dpu
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate the harness-style flags (see file header), keep the
+    // rest for google-benchmark.
+    std::vector<std::string> storage;
+    storage.reserve(argc + 2);
+    storage.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--quick") == 0) {
+            dpu::g_quick = true;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            int n = std::atoi(a + 10);
+            dpu::g_threads = n < 1 ? 1 : static_cast<uint32_t>(n);
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              (a + 7));
+            storage.push_back("--benchmark_out_format=json");
+        } else {
+            storage.push_back(a);
+        }
+    }
+    std::vector<char *> args;
+    args.reserve(storage.size());
+    for (std::string &s : storage)
+        args.push_back(s.data());
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

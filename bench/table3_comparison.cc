@@ -71,7 +71,8 @@ main(int argc, char **argv)
     double gpu_ops = 0, gpu_sec = 0;
     for (const auto &spec : smallSuite()) {
         Dag raw = buildWorkloadDag(spec, scale);
-        auto run = bench::runWorkload(raw, minEdpConfig());
+        auto run = bench::runWorkload(raw, minEdpConfig(), {}, 1,
+                                      ctx.cache());
         v2_ops += double(run.program.stats.numOperations);
         v2_sec += run.energy.seconds();
         v2_pj += run.energy.totalPj;
@@ -111,7 +112,9 @@ main(int argc, char **argv)
         Dag raw = buildWorkloadDag(spec, large_scale);
         CompileOptions opt;
         opt.partitionNodes = 20000;
-        auto run = bench::runWorkload(raw, largeConfig(), opt);
+        opt.threads = ctx.threads();
+        auto run = bench::runWorkload(raw, largeConfig(), opt, 1,
+                                      ctx.cache());
         l_ops += batchCores * double(run.program.stats.numOperations);
         l_sec += run.energy.seconds();
         l_pj += batchCores * run.energy.totalPj;

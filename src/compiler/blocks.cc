@@ -4,7 +4,6 @@
 #include <set>
 
 #include "dag/algorithms.hh"
-#include "support/rng.hh"
 
 namespace dpu {
 
@@ -18,7 +17,12 @@ struct FreeSlot
 };
 
 /**
- * Step-1 engine. Maintains, incrementally:
+ * Step-1 engine for one contiguous id range. All per-node state is
+ * range-local; nodes outside the range count as mapped (inputs live
+ * in registers, earlier partitions were fully mapped before this one
+ * in the equivalent sequential pass, and later partitions cannot be
+ * ancestors because edges point backward in id order). Maintains,
+ * incrementally:
  *  - h[v]: length of the longest chain of unmapped ancestors ending at
  *    v (capped at D+1 = unschedulable). A node is a schedulable sink
  *    iff h[v] <= D.
@@ -27,42 +31,39 @@ struct FreeSlot
 class BlockBuilder
 {
   public:
-    BlockBuilder(const Dag &dag, const ArchConfig &cfg, uint64_t seed,
-                 const std::vector<std::pair<NodeId, NodeId>> &parts)
-        : dag(dag), cfg(cfg), rng(seed), partitions(parts),
-          dfsPos(dfsPreorderPositions(dag)),
-          mapped(dag.numNodes(), false),
-          h(dag.numNodes(), 0),
-          stamp(dag.numNodes(), 0),
-          coneStamp(dag.numNodes(), 0),
+    BlockBuilder(const Dag &dag, const ArchConfig &cfg,
+                 std::pair<NodeId, NodeId> range,
+                 const std::vector<uint32_t> &dfs_positions)
+        : dag(dag), cfg(cfg), rangeLo(range.first),
+          rangeHi(range.second), dfsPos(dfs_positions),
+          mapped(extent(), false),
+          h(extent(), 0),
+          stamp(extent(), 0),
+          coneStamp(extent(), 0),
           buckets(cfg.depth + 1)
     {
-        if (partitions.empty())
-            partitions.push_back(
-                {0, static_cast<NodeId>(dag.numNodes())});
+        dpu_assert(rangeLo <= rangeHi && rangeHi <= dag.numNodes(),
+                   "bad partition range");
     }
 
-    BlockDecomposition
+    RangeDecomposition
     run()
     {
         initHeights();
-        BlockDecomposition dec;
-        dec.blockOf.assign(dag.numNodes(), BlockDecomposition::noBlock);
+        RangeDecomposition dec;
+        dec.range = {rangeLo, rangeHi};
+        dec.blockOf.assign(extent(), BlockDecomposition::noBlock);
 
-        for (const auto &range : partitions) {
-            rangeLo = range.first;
-            rangeHi = range.second;
-            size_t remaining = populateRange();
-            while (remaining) {
-                Block block = buildOneBlock();
-                dpu_assert(!block.subgraphs.empty(),
-                           "empty block with nodes remaining");
-                commitBlock(block, dec);
-                for (const Subgraph &sg : block.subgraphs)
-                    remaining -= sg.nodes.size();
-                unrollBlock(block);
-                dec.blocks.push_back(std::move(block));
-            }
+        size_t remaining = populateBuckets();
+        while (remaining) {
+            Block block = buildOneBlock();
+            dpu_assert(!block.subgraphs.empty(),
+                       "empty block with nodes remaining");
+            commitBlock(block, dec);
+            for (const Subgraph &sg : block.subgraphs)
+                remaining -= sg.nodes.size();
+            unrollBlock(block);
+            dec.blocks.push_back(std::move(block));
         }
         finalizeIoMarks(dec);
         return dec;
@@ -71,23 +72,7 @@ class BlockBuilder
   private:
     static constexpr uint32_t probeLimit = 8;
 
-    void
-    initHeights()
-    {
-        const uint32_t cap = cfg.depth + 1;
-        for (NodeId v = 0; v < dag.numNodes(); ++v) {
-            const Node &n = dag.node(v);
-            if (n.isInput()) {
-                mapped[v] = true; // inputs live in registers, not PEs
-                continue;
-            }
-            uint32_t best = 0;
-            for (NodeId o : n.operands)
-                if (!mapped[o])
-                    best = std::max(best, h[o]);
-            h[v] = std::min(best + 1, cap);
-        }
-    }
+    size_t extent() const { return rangeHi - rangeLo; }
 
     bool
     inRange(NodeId v) const
@@ -95,18 +80,44 @@ class BlockBuilder
         return v >= rangeLo && v < rangeHi;
     }
 
-    /** Insert the current partition's candidates; count its nodes. */
+    size_t idx(NodeId v) const { return v - rangeLo; }
+
+    /** Mapped state with out-of-range nodes counting as mapped. */
+    bool
+    isMapped(NodeId v) const
+    {
+        return !inRange(v) || mapped[idx(v)];
+    }
+
+    void
+    initHeights()
+    {
+        const uint32_t cap = cfg.depth + 1;
+        for (NodeId v = rangeLo; v < rangeHi; ++v) {
+            const Node &n = dag.node(v);
+            if (n.isInput()) {
+                mapped[idx(v)] = true; // inputs live in registers
+                continue;
+            }
+            uint32_t best = 0;
+            for (NodeId o : n.operands)
+                if (!isMapped(o))
+                    best = std::max(best, h[idx(o)]);
+            h[idx(v)] = std::min(best + 1, cap);
+        }
+    }
+
+    /** Insert the range's candidates; count its compute nodes. */
     size_t
-    populateRange()
+    populateBuckets()
     {
         size_t remaining = 0;
         for (NodeId v = rangeLo; v < rangeHi; ++v) {
             if (dag.node(v).isInput())
                 continue;
-            dpu_assert(!mapped[v], "partition node already mapped");
             ++remaining;
-            if (h[v] <= cfg.depth)
-                buckets[h[v]].insert({dfsPos[v], v});
+            if (h[idx(v)] <= cfg.depth)
+                buckets[h[idx(v)]].insert({dfsPos[v], v});
         }
         return remaining;
     }
@@ -116,8 +127,8 @@ class BlockBuilder
     {
         uint32_t best = 0;
         for (NodeId o : dag.node(v).operands)
-            if (!mapped[o])
-                best = std::max(best, h[o]);
+            if (!isMapped(o))
+                best = std::max(best, h[idx(o)]);
         return std::min(best + 1, cfg.depth + 1);
     }
 
@@ -133,14 +144,14 @@ class BlockBuilder
         while (!dfsStack.empty()) {
             NodeId v = dfsStack.back();
             dfsStack.pop_back();
-            if (coneStamp[v] == visit_epoch)
+            if (coneStamp[idx(v)] == visit_epoch)
                 continue;
-            coneStamp[v] = visit_epoch;
-            if (stamp[v] == epoch)
+            coneStamp[idx(v)] = visit_epoch;
+            if (stamp[idx(v)] == epoch)
                 return false; // overlaps a cone already in this block
             cone.push_back(v);
             for (NodeId o : dag.node(v).operands)
-                if (!mapped[o])
+                if (!isMapped(o))
                     dfsStack.push_back(o);
         }
         return true;
@@ -185,7 +196,8 @@ class BlockBuilder
                     --bwd;
                     v = bwd->second;
                 }
-                dpu_assert(!mapped[v] && h[v] == d, "stale bucket entry");
+                dpu_assert(!mapped[idx(v)] && h[idx(v)] == d,
+                           "stale bucket entry");
                 if (materializeCone(v, epoch, cone)) {
                     depth = d;
                     return v;
@@ -247,7 +259,7 @@ class BlockBuilder
             sg.rootLayer = depth;
             sg.rootIndex = slot.index;
             for (NodeId v : cone)
-                stamp[v] = blockEpoch;
+                stamp[idx(v)] = blockEpoch;
             block.subgraphs.push_back(std::move(sg));
             anchor = dfsPos[sink];
         }
@@ -256,19 +268,19 @@ class BlockBuilder
 
     /** Mark the block's nodes mapped and ripple height updates. */
     void
-    commitBlock(const Block &block, BlockDecomposition &dec)
+    commitBlock(const Block &block, RangeDecomposition &dec)
     {
         uint32_t block_id = static_cast<uint32_t>(dec.blocks.size());
         std::vector<NodeId> worklist;
         for (const Subgraph &sg : block.subgraphs) {
             for (NodeId v : sg.nodes) {
-                dpu_assert(!mapped[v], "node mapped twice");
-                mapped[v] = true;
-                dec.blockOf[v] = block_id;
-                if (h[v] <= cfg.depth && inRange(v))
-                    buckets[h[v]].erase({dfsPos[v], v});
+                dpu_assert(!mapped[idx(v)], "node mapped twice");
+                mapped[idx(v)] = true;
+                dec.blockOf[idx(v)] = block_id;
+                if (h[idx(v)] <= cfg.depth)
+                    buckets[h[idx(v)]].erase({dfsPos[v], v});
                 for (NodeId s : dag.successors(v))
-                    if (!mapped[s])
+                    if (inRange(s) && !mapped[idx(s)])
                         worklist.push_back(s);
             }
         }
@@ -276,18 +288,18 @@ class BlockBuilder
         while (!worklist.empty()) {
             NodeId v = worklist.back();
             worklist.pop_back();
-            if (mapped[v])
+            if (mapped[idx(v)])
                 continue;
             uint32_t nh = recomputeHeight(v);
-            if (nh == h[v])
+            if (nh == h[idx(v)])
                 continue;
-            if (h[v] <= cfg.depth && inRange(v))
-                buckets[h[v]].erase({dfsPos[v], v});
-            h[v] = nh;
-            if (h[v] <= cfg.depth && inRange(v))
-                buckets[h[v]].insert({dfsPos[v], v});
+            if (h[idx(v)] <= cfg.depth)
+                buckets[h[idx(v)]].erase({dfsPos[v], v});
+            h[idx(v)] = nh;
+            if (h[idx(v)] <= cfg.depth)
+                buckets[h[idx(v)]].insert({dfsPos[v], v});
             for (NodeId s : dag.successors(v))
-                if (!mapped[s])
+                if (inRange(s) && !mapped[idx(s)])
                     worklist.push_back(s);
         }
     }
@@ -296,7 +308,7 @@ class BlockBuilder
     bool
     inCone(NodeId v) const
     {
-        return coneStamp[v] == visitCounter;
+        return inRange(v) && coneStamp[idx(v)] == visitCounter;
     }
 
     /** Thread a register value up through pass-through PEs. */
@@ -352,7 +364,7 @@ class BlockBuilder
             // Re-stamp the cone so inCone() answers for this subgraph.
             ++visitCounter;
             for (NodeId v : sg.nodes)
-                coneStamp[v] = visitCounter;
+                coneStamp[idx(v)] = visitCounter;
             placeNode(block, sg.sink,
                       {sg.tree, sg.rootLayer, sg.rootIndex});
         }
@@ -363,23 +375,24 @@ class BlockBuilder
         block.inputs.assign(ins.begin(), ins.end());
     }
 
-    /** Mark io values: DAG inputs plus block outputs. */
+    /** Mark io values: DAG inputs plus block outputs. A successor
+     *  outside the range always lives in a different (later) block. */
     void
-    finalizeIoMarks(BlockDecomposition &dec)
+    finalizeIoMarks(RangeDecomposition &dec)
     {
-        dec.isIo.assign(dag.numNodes(), false);
-        for (NodeId v = 0; v < dag.numNodes(); ++v) {
+        dec.isIo.assign(extent(), 0);
+        for (NodeId v = rangeLo; v < rangeHi; ++v) {
             if (dag.node(v).isInput()) {
-                dec.isIo[v] = true;
+                dec.isIo[idx(v)] = 1;
                 continue;
             }
-            uint32_t b = dec.blockOf[v];
+            uint32_t b = dec.blockOf[idx(v)];
             bool out = dag.successors(v).empty(); // DAG result
             for (NodeId s : dag.successors(v))
-                if (dec.blockOf[s] != b)
+                if (!inRange(s) || dec.blockOf[idx(s)] != b)
                     out = true;
             if (out) {
-                dec.isIo[v] = true;
+                dec.isIo[idx(v)] = 1;
                 dec.blocks[b].outputs.push_back(v);
             }
         }
@@ -387,11 +400,9 @@ class BlockBuilder
 
     const Dag &dag;
     const ArchConfig &cfg;
-    Rng rng;
-    std::vector<std::pair<NodeId, NodeId>> partitions;
     NodeId rangeLo = 0;
     NodeId rangeHi = 0;
-    std::vector<uint32_t> dfsPos;
+    const std::vector<uint32_t> &dfsPos;
     std::vector<bool> mapped;
     std::vector<uint32_t> h;
     std::vector<uint64_t> stamp;     ///< block-epoch pick marks
@@ -405,13 +416,56 @@ class BlockBuilder
 
 } // namespace
 
+RangeDecomposition
+decomposeRangeIntoBlocks(const Dag &dag, const ArchConfig &cfg,
+                         uint64_t seed, std::pair<NodeId, NodeId> range,
+                         const std::vector<uint32_t> &dfs_positions)
+{
+    (void)seed; // reserved: step 1 is currently tie-broken by DFS order
+    return BlockBuilder(dag, cfg, range, dfs_positions).run();
+}
+
+BlockDecomposition
+mergeRangeDecompositions(const Dag &dag,
+                         std::vector<RangeDecomposition> &&pieces)
+{
+    BlockDecomposition dec;
+    dec.blockOf.assign(dag.numNodes(), BlockDecomposition::noBlock);
+    dec.isIo.assign(dag.numNodes(), false);
+    size_t total_blocks = 0;
+    for (const RangeDecomposition &piece : pieces)
+        total_blocks += piece.blocks.size();
+    dec.blocks.reserve(total_blocks);
+    for (RangeDecomposition &piece : pieces) {
+        uint32_t offset = static_cast<uint32_t>(dec.blocks.size());
+        for (Block &b : piece.blocks)
+            dec.blocks.push_back(std::move(b));
+        NodeId lo = piece.range.first;
+        for (size_t i = 0; i < piece.blockOf.size(); ++i) {
+            if (piece.blockOf[i] != BlockDecomposition::noBlock)
+                dec.blockOf[lo + i] = piece.blockOf[i] + offset;
+            dec.isIo[lo + i] = piece.isIo[i] != 0;
+        }
+    }
+    return dec;
+}
+
 BlockDecomposition
 decomposeIntoBlocks(const Dag &dag, const ArchConfig &cfg, uint64_t seed,
                     const std::vector<std::pair<NodeId, NodeId>> &parts)
 {
     cfg.check();
     dpu_assert(dag.isBinary(), "decompose needs a binarized DAG");
-    return BlockBuilder(dag, cfg, seed, parts).run();
+    std::vector<std::pair<NodeId, NodeId>> ranges = parts;
+    if (ranges.empty())
+        ranges.push_back({0, static_cast<NodeId>(dag.numNodes())});
+    std::vector<uint32_t> dfs_positions = dfsPreorderPositions(dag);
+    std::vector<RangeDecomposition> pieces;
+    pieces.reserve(ranges.size());
+    for (const auto &range : ranges)
+        pieces.push_back(
+            decomposeRangeIntoBlocks(dag, cfg, seed, range, dfs_positions));
+    return mergeRangeDecompositions(dag, std::move(pieces));
 }
 
 void

@@ -86,6 +86,46 @@ struct BlockDecomposition
 };
 
 /**
+ * Step-1 result for one contiguous partition range. Node ids inside
+ * `blocks` are global DAG ids; the per-node tables are range-local,
+ * indexed by `v - range.first`, and block ids are local to `blocks`.
+ * Pieces from disjoint ranges merge into a global BlockDecomposition
+ * with mergeRangeDecompositions().
+ */
+struct RangeDecomposition
+{
+    std::pair<NodeId, NodeId> range{0, 0};
+    std::vector<Block> blocks;
+    std::vector<uint32_t> blockOf; ///< size = range extent.
+    std::vector<uint8_t> isIo;     ///< size = range extent.
+};
+
+/**
+ * Run step 1 on one partition range in isolation.
+ *
+ * Depends only on (dag, cfg, seed, range, dfs_positions): every node
+ * outside the range is treated as already mapped, which matches the
+ * state a sequential partition-by-partition pass would see, so ranges
+ * can be decomposed concurrently and merged deterministically.
+ *
+ * @param dfs_positions dfsPreorderPositions(dag), computed once by
+ *        the caller and shared read-only across ranges.
+ */
+RangeDecomposition decomposeRangeIntoBlocks(
+    const Dag &dag, const ArchConfig &cfg, uint64_t seed,
+    std::pair<NodeId, NodeId> range,
+    const std::vector<uint32_t> &dfs_positions);
+
+/**
+ * Merge per-range pieces (in ascending range order, covering all
+ * compute nodes) into a global decomposition. Block ids are offset by
+ * the number of blocks in earlier pieces; piece block vectors are
+ * moved out.
+ */
+BlockDecomposition mergeRangeDecompositions(
+    const Dag &dag, std::vector<RangeDecomposition> &&pieces);
+
+/**
  * Run step 1.
  *
  * @param dag Binarized DAG (every compute node has 2 operands).

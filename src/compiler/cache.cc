@@ -1,0 +1,422 @@
+#include "compiler/cache.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "arch/isa.hh"
+#include "support/logging.hh"
+
+namespace dpu {
+
+namespace {
+
+/** splitmix64-style avalanche, for word-at-a-time hashing. */
+uint64_t
+mix64(uint64_t h, uint64_t x)
+{
+    h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    return h;
+}
+
+// ------------------------------------------------------------------ //
+// Binary image helpers (native endianness; see file header of the    //
+// cache for why that is acceptable).                                 //
+// ------------------------------------------------------------------ //
+
+struct Writer
+{
+    std::vector<uint8_t> buf;
+
+    void
+    raw(const void *p, size_t n)
+    {
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+};
+
+struct Reader
+{
+    const uint8_t *p;
+    const uint8_t *end;
+    bool ok = true;
+
+    bool
+    raw(void *out, size_t n)
+    {
+        if (!ok || static_cast<size_t>(end - p) < n) {
+            ok = false;
+            return false;
+        }
+        std::memcpy(out, p, n);
+        p += n;
+        return true;
+    }
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+    double
+    f64()
+    {
+        double v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+};
+
+constexpr uint64_t programMagic = 0x3147524f50555044ull; // "DPUPROG1"
+
+} // namespace
+
+uint64_t
+dagStructuralHash(const Dag &dag)
+{
+    uint64_t h = 0x8a5cd789635d2dffull;
+    h = mix64(h, dag.numNodes());
+    for (NodeId v = 0; v < dag.numNodes(); ++v) {
+        const Node &n = dag.node(v);
+        h = mix64(h, n.isInput()
+                         ? 0ull
+                         : 1ull + static_cast<uint64_t>(n.op));
+        h = mix64(h, n.operands.size());
+        for (NodeId o : n.operands)
+            h = mix64(h, o);
+    }
+    return h;
+}
+
+std::string
+programCacheKey(const Dag &dag, const ArchConfig &cfg,
+                const CompileOptions &options)
+{
+    char suffix[160];
+    std::snprintf(suffix, sizeof(suffix),
+                  "%016llx-D%u.B%u.R%u-n%d-m%u-b%d-w%u-p%u-s%llu",
+                  static_cast<unsigned long long>(dagStructuralHash(dag)),
+                  cfg.depth, cfg.banks, cfg.regsPerBank,
+                  static_cast<int>(cfg.outputNet), cfg.dataMemRows,
+                  static_cast<int>(options.bankPolicy),
+                  options.reorderWindow, options.partitionNodes,
+                  static_cast<unsigned long long>(options.seed));
+    return suffix;
+}
+
+std::vector<uint8_t>
+serializeProgram(const CompiledProgram &prog)
+{
+    Writer w;
+    w.u64(programMagic);
+
+    w.u32(prog.cfg.depth);
+    w.u32(prog.cfg.banks);
+    w.u32(prog.cfg.regsPerBank);
+    w.u32(static_cast<uint32_t>(prog.cfg.outputNet));
+    w.u32(prog.cfg.dataMemRows);
+
+    std::vector<uint8_t> image =
+        encodeProgram(prog.cfg, prog.instructions);
+    w.u64(prog.instructions.size());
+    w.u64(image.size());
+    w.raw(image.data(), image.size());
+
+    w.u32(prog.numRows);
+    w.u64(prog.inputLocation.size());
+    for (auto [row, col] : prog.inputLocation) {
+        w.u32(row);
+        w.u32(col);
+    }
+    w.u64(prog.outputs.size());
+    for (const auto &o : prog.outputs) {
+        w.u32(o.node);
+        w.u32(o.row);
+        w.u32(o.col);
+    }
+
+    const CompileStats &s = prog.stats;
+    for (uint64_t k : s.kindCount)
+        w.u64(k);
+    w.u64(s.instructions);
+    w.u64(s.cycles);
+    w.u64(s.bankConflicts);
+    w.u64(s.nops);
+    w.u64(s.spillStores);
+    w.u64(s.reloads);
+    w.u64(s.numOperations);
+    w.u64(s.peOpsExecuted);
+    w.u64(s.blocks);
+    w.u64(s.programBits);
+    w.u64(s.programBitsExplicitWrites);
+    w.u64(s.csrBits);
+    w.u64(s.dataBits);
+    w.f64(s.compileSeconds);
+    return std::move(w.buf);
+}
+
+bool
+deserializeProgram(const std::vector<uint8_t> &image, CompiledProgram &out)
+{
+    Reader r{image.data(), image.data() + image.size()};
+    if (r.u64() != programMagic)
+        return false;
+
+    CompiledProgram prog;
+    prog.cfg.depth = r.u32();
+    prog.cfg.banks = r.u32();
+    prog.cfg.regsPerBank = r.u32();
+    prog.cfg.outputNet = static_cast<OutputInterconnect>(r.u32());
+    prog.cfg.dataMemRows = r.u32();
+
+    uint64_t instr_count = r.u64();
+    uint64_t image_bytes = r.u64();
+    if (!r.ok || image_bytes > static_cast<size_t>(r.end - r.p))
+        return false;
+    std::vector<uint8_t> packed(r.p, r.p + image_bytes);
+    r.p += image_bytes;
+    try {
+        prog.cfg.check();
+        prog.instructions = decodeProgram(
+            prog.cfg, packed, static_cast<size_t>(instr_count));
+    } catch (...) {
+        return false;
+    }
+
+    prog.numRows = r.u32();
+    uint64_t n_inputs = r.u64();
+    if (!r.ok || n_inputs > image.size())
+        return false;
+    prog.inputLocation.reserve(n_inputs);
+    for (uint64_t i = 0; i < n_inputs; ++i) {
+        uint32_t row = r.u32();
+        uint32_t col = r.u32();
+        prog.inputLocation.emplace_back(row, col);
+    }
+    uint64_t n_outputs = r.u64();
+    if (!r.ok || n_outputs > image.size())
+        return false;
+    prog.outputs.reserve(n_outputs);
+    for (uint64_t i = 0; i < n_outputs; ++i) {
+        CompiledProgram::OutputLoc o;
+        o.node = r.u32();
+        o.row = r.u32();
+        o.col = r.u32();
+        prog.outputs.push_back(o);
+    }
+
+    CompileStats &s = prog.stats;
+    for (uint64_t &k : s.kindCount)
+        k = r.u64();
+    s.instructions = r.u64();
+    s.cycles = r.u64();
+    s.bankConflicts = r.u64();
+    s.nops = r.u64();
+    s.spillStores = r.u64();
+    s.reloads = r.u64();
+    s.numOperations = r.u64();
+    s.peOpsExecuted = r.u64();
+    s.blocks = r.u64();
+    s.programBits = r.u64();
+    s.programBitsExplicitWrites = r.u64();
+    s.csrBits = r.u64();
+    s.dataBits = r.u64();
+    s.compileSeconds = r.f64();
+    if (!r.ok || r.p != r.end)
+        return false;
+    out = std::move(prog);
+    return true;
+}
+
+ProgramCache::ProgramCache(ProgramCacheConfig config_)
+    : config(std::move(config_))
+{
+    dpu_assert(config.maxEntries >= 1, "cache needs at least one slot");
+}
+
+CompiledProgram
+ProgramCache::compile(const Dag &dag, const ArchConfig &cfg,
+                      const CompileOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto fetch_seconds = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    std::string key = programCacheKey(dag, cfg, options);
+
+    std::shared_ptr<const CompiledProgram> resident;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = index.find(key);
+        if (it != index.end()) {
+            lru.splice(lru.begin(), lru, it->second);
+            ++counters.hits;
+            resident = it->second->prog;
+        }
+    }
+    if (resident) {
+        // Deep copy outside the mutex: entries are immutable, so
+        // concurrent workers only contend for the lookup above.
+        CompiledProgram copy = *resident;
+        copy.stats.cacheHits = 1;
+        copy.stats.compileSeconds = fetch_seconds();
+        return copy;
+    }
+
+    if (!config.diskDir.empty()) {
+        CompiledProgram prog;
+        if (loadFromDisk(key, prog)) {
+            auto shared =
+                std::make_shared<const CompiledProgram>(std::move(prog));
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++counters.diskHits;
+                insertLocked(key, shared);
+            }
+            CompiledProgram copy = *shared;
+            copy.stats.cacheHits = 1;
+            copy.stats.compileSeconds = fetch_seconds();
+            return copy;
+        }
+    }
+
+    CompiledProgram prog = dpu::compile(dag, cfg, options);
+    auto shared = std::make_shared<const CompiledProgram>(prog);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.misses;
+        insertLocked(key, shared);
+    }
+    if (!config.diskDir.empty())
+        storeToDisk(key, *shared);
+    return prog;
+}
+
+void
+ProgramCache::insert(const Dag &dag, const ArchConfig &cfg,
+                     const CompileOptions &options,
+                     const CompiledProgram &prog)
+{
+    std::string key = programCacheKey(dag, cfg, options);
+    CompiledProgram stored = prog;
+    stored.stats.cacheHits = 0; // future hits flag themselves
+    auto shared =
+        std::make_shared<const CompiledProgram>(std::move(stored));
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        insertLocked(key, shared);
+    }
+    if (!config.diskDir.empty())
+        storeToDisk(key, *shared);
+}
+
+ProgramCache::Stats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return lru.size();
+}
+
+bool
+ProgramCache::loadFromDisk(const std::string &key, CompiledProgram &out)
+{
+    std::filesystem::path path =
+        std::filesystem::path(config.diskDir) / (key + ".dpuprog");
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::vector<uint8_t> image(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return deserializeProgram(image, out);
+}
+
+void
+ProgramCache::storeToDisk(const std::string &key,
+                          const CompiledProgram &prog)
+{
+    std::error_code ec;
+    std::filesystem::path dir(config.diskDir);
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return; // a cache write failure is not an error
+    std::filesystem::path path = dir / (key + ".dpuprog");
+    // Per-process tmp name: concurrent writers of one key (e.g. two
+    // benches sharing a --cache-dir) must not interleave into the
+    // same file before the atomic rename.
+    std::filesystem::path tmp =
+        dir / (key + ".tmp." +
+               std::to_string(
+#if defined(__unix__) || defined(__APPLE__)
+                   static_cast<long>(::getpid())
+#else
+                   0L
+#endif
+               ));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        std::vector<uint8_t> image = serializeProgram(prog);
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+        if (!out)
+            return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.diskWrites;
+    }
+}
+
+void
+ProgramCache::insertLocked(const std::string &key,
+                           std::shared_ptr<const CompiledProgram> prog)
+{
+    auto it = index.find(key);
+    if (it != index.end()) {
+        it->second->prog = std::move(prog);
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.push_front({key, std::move(prog)});
+    index[key] = lru.begin();
+    while (lru.size() > config.maxEntries) {
+        index.erase(lru.back().key);
+        lru.pop_back();
+        ++counters.evictions;
+    }
+}
+
+} // namespace dpu

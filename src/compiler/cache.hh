@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Content-keyed compiled-program cache.
+ *
+ * The bench suite compiles the same workload DAGs over and over (17
+ * bench binaries, many sharing the Table I suite at the same
+ * configuration). The cache keys a compile by what the compiler
+ * actually reacts to — the DAG's structural hash, the ArchConfig and
+ * the CompileOptions — and keeps the resulting programs in an
+ * in-memory LRU with an optional on-disk spill directory so hits
+ * survive across bench *processes*.
+ *
+ * CompileOptions::threads and ::validate are deliberately excluded
+ * from the key: the partition-parallel compiler is byte-identical for
+ * every thread count, so they cannot change the cached artifact.
+ *
+ * The disk format is a native-endianness binary image (the cache
+ * directory is a local build artifact, not a portable interchange
+ * format); unreadable or stale files are treated as misses.
+ */
+
+#ifndef DPU_COMPILER_CACHE_HH
+#define DPU_COMPILER_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compiler.hh"
+
+namespace dpu {
+
+/** Structural hash of a DAG: node kinds, operators and edges. Two
+ *  DAGs with the same hash compile identically (modulo collisions). */
+uint64_t dagStructuralHash(const Dag &dag);
+
+/** The cache key as a printable token (also the spill file stem). */
+std::string programCacheKey(const Dag &dag, const ArchConfig &cfg,
+                            const CompileOptions &options);
+
+/** Serialize a compiled program to a self-contained binary image. */
+std::vector<uint8_t> serializeProgram(const CompiledProgram &prog);
+
+/** Inverse of serializeProgram(); false on a malformed image. */
+bool deserializeProgram(const std::vector<uint8_t> &image,
+                        CompiledProgram &out);
+
+/** Cache sizing / placement knobs. */
+struct ProgramCacheConfig
+{
+    /** In-memory LRU capacity in programs. */
+    size_t maxEntries = 32;
+
+    /** Spill directory shared across processes; empty = memory only.
+     *  Created on first write if missing. */
+    std::string diskDir;
+};
+
+/**
+ * A thread-safe compiled-program cache. compile() returns the cached
+ * program when the key is resident (memory first, then disk), and
+ * otherwise runs the real compiler and remembers the result. Cached
+ * returns carry stats.cacheHits = 1 and their compileSeconds reset to
+ * the fetch time, so callers can both observe hits and report honest
+ * wall-clock compile costs.
+ */
+class ProgramCache
+{
+  public:
+    explicit ProgramCache(ProgramCacheConfig config = {});
+
+    /** Compile through the cache. */
+    CompiledProgram compile(const Dag &dag, const ArchConfig &cfg,
+                            const CompileOptions &options = {});
+
+    /** Insert a program compiled outside the cache (e.g. by a bench
+     *  that must measure real compile time but still wants later
+     *  benches to reuse the artifact). Counts as neither hit nor
+     *  miss; spills to disk like a miss would. */
+    void insert(const Dag &dag, const ArchConfig &cfg,
+                const CompileOptions &options,
+                const CompiledProgram &prog);
+
+    /** Aggregate counters since construction. */
+    struct Stats
+    {
+        uint64_t hits = 0;       ///< Served from memory.
+        uint64_t diskHits = 0;   ///< Served from the spill directory.
+        uint64_t misses = 0;     ///< Full compiles.
+        uint64_t evictions = 0;  ///< LRU evictions from memory.
+        uint64_t diskWrites = 0; ///< Spill files written.
+    };
+    Stats stats() const;
+
+    /** Programs currently resident in memory. */
+    size_t size() const;
+
+  private:
+    /** Entries hold immutable programs behind shared_ptr so a hit
+     *  can leave the mutex before making the caller's deep copy. */
+    struct Entry
+    {
+        std::string key;
+        std::shared_ptr<const CompiledProgram> prog;
+    };
+
+    bool loadFromDisk(const std::string &key, CompiledProgram &out);
+    void storeToDisk(const std::string &key, const CompiledProgram &prog);
+    void insertLocked(const std::string &key,
+                      std::shared_ptr<const CompiledProgram> prog);
+
+    ProgramCacheConfig config;
+    mutable std::mutex mutex;
+    std::list<Entry> lru; ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    Stats counters;
+};
+
+} // namespace dpu
+
+#endif // DPU_COMPILER_CACHE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "support/rng.hh"
 
@@ -9,63 +10,131 @@ namespace dpu {
 
 namespace {
 
+/** Per-fragment RNG stream: partition 0 keeps the historical seed so
+ *  single-partition compiles reproduce the monolithic pass bit for
+ *  bit; later partitions get decorrelated deterministic streams. */
+uint64_t
+fragmentRngSeed(uint32_t part)
+{
+    return 0xc0de + 0x9e3779b97f4a7c15ull * part;
+}
+
+/** Generates one partition's IR fragment. Per-node working state is
+ *  a range-local array for the partition's own ids plus small hash
+ *  maps for the below-range values its blocks read (inputs loaded
+ *  here, io values of earlier partitions), so many fragments stay
+ *  O(total nodes) together instead of O(fragments x nodes). */
 class CodeGen
 {
   public:
     CodeGen(const Dag &dag, const ArchConfig &cfg,
-            const BlockDecomposition &dec, const BankAssignment &banks)
-        : dag(dag), cfg(cfg), dec(dec), banks(banks), rng(0xc0de)
-    {}
+            std::span<const Block> blocks,
+            std::pair<NodeId, NodeId> range, const BankAssignment &banks,
+            const CodegenShared &shared, uint32_t part)
+        : dag(dag), cfg(cfg), blocks(blocks), lo(range.first),
+          hi(range.second), banks(banks), shared(shared), part(part),
+          rng(fragmentRngSeed(part))
+    {
+        dpu_assert(lo <= hi && hi <= dag.numNodes(), "bad range");
+    }
 
-    IrProgram
+    IrFragment
     run()
     {
+        remainingLocal.assign(hi - lo, 0);
+        instLocal.assign(hi - lo, invalidInstance);
+        rowCounter.assign(cfg.banks, 0);
         countReads();
-        assignInputIndices();
-        for (uint32_t b = 0; b < dec.blocks.size(); ++b)
+        for (uint32_t b = 0; b < blocks.size(); ++b)
             emitBlock(b);
-        emitFinalStores();
-        ir.inputRows = inputRows;
         checkBalance();
-        return std::move(ir);
+        return std::move(frag);
     }
 
   private:
-    /** remainingReads[v] = #reader blocks (+1 if stored at the end). */
-    void
-    countReads()
+    IrProgram &ir() { return frag.ir; }
+
+    bool inRange(NodeId v) const { return v >= lo && v < hi; }
+
+    /** Pending local reads of v (reader blocks in this fragment). */
+    uint32_t &
+    remainingOf(NodeId v)
     {
-        remainingReads.assign(dag.numNodes(), 0);
-        for (const Block &blk : dec.blocks)
-            for (NodeId v : blk.inputs)
-                ++remainingReads[v];
-        for (NodeId s : dag.sinks())
-            if (!dag.node(s).isInput())
-                ++remainingReads[s];
+        return inRange(v) ? remainingLocal[v - lo] : remainingExt[v];
+    }
+
+    /** Primary instance this fragment created for v (invalid if it
+     *  has not, i.e. the value is external or not yet defined). */
+    InstanceId
+    instanceOf(NodeId v) const
+    {
+        if (inRange(v))
+            return instLocal[v - lo];
+        auto it = instExt.find(v);
+        return it == instExt.end() ? invalidInstance : it->second;
     }
 
     void
-    assignInputIndices()
+    setInstance(NodeId v, InstanceId id)
     {
-        inputIndexOf.assign(dag.numNodes(), invalidNode);
-        uint32_t k = 0;
-        for (NodeId v = 0; v < dag.numNodes(); ++v)
-            if (dag.node(v).isInput())
-                inputIndexOf[v] = k++;
-        ir.inputLocation.assign(k, {0, 0});
-        loaded.assign(dag.numNodes(), false);
-        instOf.assign(dag.numNodes(), invalidInstance);
-        rowCounter.assign(cfg.banks, 0);
+        if (inRange(v))
+            instLocal[v - lo] = id;
+        else
+            instExt[v] = id;
+    }
+
+    void
+    countReads()
+    {
+        for (const Block &blk : blocks)
+            for (NodeId v : blk.inputs)
+                ++remainingOf(v);
+    }
+
+    /** True when this read is the globally last register read of v:
+     *  the last one in this fragment, in the partition holding the
+     *  value's final reader. */
+    bool
+    consumeRead(NodeId v)
+    {
+        uint32_t &remaining = remainingOf(v);
+        dpu_assert(remaining > 0, "read accounting underflow");
+        return --remaining == 0 && shared.lastReaderPart[v] == part;
     }
 
     InstanceId
     newInstance(NodeId value, uint32_t bank, uint32_t pe)
     {
-        ir.instances.push_back({value, bank, pe});
-        return static_cast<InstanceId>(ir.instances.size() - 1);
+        ir().instances.push_back({value, bank, pe});
+        return static_cast<InstanceId>(ir().instances.size() - 1);
     }
 
-    /** Emit loads for the block's not-yet-resident DAG inputs. */
+    /** Local primary instance, or an external reference for values
+     *  loaded / produced by an earlier partition. */
+    InstanceId
+    primaryIdOf(NodeId v)
+    {
+        InstanceId id = instanceOf(v);
+        if (id != invalidInstance)
+            return id;
+        auto [it, fresh] = externalIndexOf.try_emplace(
+            v, static_cast<uint32_t>(frag.externals.size()));
+        if (fresh)
+            frag.externals.push_back(v);
+        return IrFragment::externalFlag | it->second;
+    }
+
+    /** Home bank of the instance behind `id` (externals keep the
+     *  home bank their owner chose). */
+    uint32_t
+    bankOfId(NodeId value, InstanceId id) const
+    {
+        if (IrFragment::isExternal(id))
+            return banks.bankOf[value];
+        return frag.ir.instances[id].bank;
+    }
+
+    /** Emit loads for the block's DAG inputs this fragment owns. */
     void
     emitLoads(const Block &blk)
     {
@@ -73,12 +142,16 @@ class CodeGen
         // time. Inputs that are consumed together should live in the
         // same memory row so one vector load covers them all: align
         // the whole batch (bank columns permitting) to the highest
-        // per-bank fill level, then advance those banks' levels.
+        // per-bank fill level, then advance those banks' levels. Rows
+        // are fragment-local here; mergeIrFragments() replays them
+        // against the global counters.
         std::vector<NodeId> batch;
         for (NodeId v : blk.inputs) {
-            if (!dag.node(v).isInput() || loaded[v])
+            if (!dag.node(v).isInput() ||
+                instanceOf(v) != invalidInstance) // already loaded here
                 continue;
-            loaded[v] = true;
+            if (shared.firstLoaderPart[v] != part)
+                continue; // an earlier partition's fragment loads it
             batch.push_back(v);
         }
         std::map<uint32_t, std::vector<NodeId>> by_row;
@@ -102,8 +175,6 @@ class CodeGen
             for (NodeId v : round) {
                 uint32_t bank = banks.bankOf[v];
                 rowCounter[bank] = row + 1;
-                inputRows = std::max(inputRows, row + 1);
-                ir.inputLocation[inputIndexOf[v]] = {row, bank};
                 by_row[row].push_back(v);
             }
         }
@@ -114,10 +185,11 @@ class CodeGen
             for (NodeId v : values) {
                 InstanceId id = newInstance(v, banks.bankOf[v],
                                             BankAssignment::invalid);
-                instOf[v] = id;
+                setInstance(v, id);
+                frag.defs.push_back({v, id});
                 load.writes.push_back({id});
             }
-            ir.instrs.push_back(std::move(load));
+            ir().instrs.push_back(std::move(load));
         }
     }
 
@@ -137,7 +209,7 @@ class CodeGen
             uint32_t bank = banks.bankOf[v];
             auto [it, fresh] = keeper.try_emplace(bank, v);
             if (fresh) {
-                use[v] = instOf[v];
+                use[v] = primaryIdOf(v);
                 used_banks |= uint64_t(1) << bank;
             } else {
                 displaced.push_back(v);
@@ -146,7 +218,7 @@ class CodeGen
         if (displaced.empty())
             return use;
 
-        ir.copyResolvedConflicts += displaced.size();
+        ir().copyResolvedConflicts += displaced.size();
 
         // Pick a fresh bank per displaced value and batch the copies
         // into copy_4s with distinct source and destination banks.
@@ -192,8 +264,7 @@ class CodeGen
                 src_used |= sbit;
                 dst_used |= dbit;
                 NodeId v = it->value;
-                bool last = --remainingReads[v] == 0;
-                copy.reads.push_back({instOf[v], last});
+                copy.reads.push_back({primaryIdOf(v), consumeRead(v)});
                 InstanceId tmp = newInstance(v, it->dstBank,
                                              BankAssignment::invalid);
                 copy.writes.push_back({tmp});
@@ -201,7 +272,7 @@ class CodeGen
                 it = pending.erase(it);
             }
             dpu_assert(!copy.reads.empty(), "copy packing stuck");
-            ir.instrs.push_back(std::move(copy));
+            ir().instrs.push_back(std::move(copy));
         }
         return use;
     }
@@ -209,114 +280,245 @@ class CodeGen
     void
     emitBlock(uint32_t block_id)
     {
-        const Block &blk = dec.blocks[block_id];
+        const Block &blk = blocks[block_id];
         emitLoads(blk);
         auto use = emitConflictCopies(blk);
 
         IrInstr exec;
         exec.kind = InstrKind::Exec;
-        exec.blockId = block_id;
+        exec.blockId = block_id; // fragment-local; merge offsets it
         exec.inputSel.assign(cfg.banks, 0);
         for (NodeId v : blk.inputs) {
             InstanceId inst = use.at(v);
-            bool is_temp = inst != instOf[v];
-            bool last = is_temp ? true : (--remainingReads[v] == 0);
+            bool is_temp = inst != primaryIdOf(v);
+            bool last = is_temp ? true : consumeRead(v);
             exec.reads.push_back({inst, last});
         }
         for (const PortRead &r : blk.reads)
-            exec.inputSel[r.port] =
-                static_cast<uint16_t>(ir.instances[use.at(r.value)].bank);
+            exec.inputSel[r.port] = static_cast<uint16_t>(
+                bankOfId(r.value, use.at(r.value)));
         for (NodeId v : blk.outputs) {
             InstanceId id = newInstance(v, banks.bankOf[v], banks.peOf[v]);
-            instOf[v] = id;
+            setInstance(v, id);
+            frag.defs.push_back({v, id});
             exec.writes.push_back({id});
         }
-        ir.instrs.push_back(std::move(exec));
+        ir().instrs.push_back(std::move(exec));
     }
 
-    /** Store every DAG result to the output region of data memory. */
-    void
-    emitFinalStores()
-    {
-        std::vector<NodeId> compute_sinks;
-        for (NodeId s : dag.sinks()) {
-            if (dag.node(s).isInput()) {
-                // The result *is* an input. Input sinks have no
-                // consumers, so they were never lazily placed: give
-                // them a memory home now (no hardware work needed).
-                dpu_assert(!loaded[s], "input sink was loaded");
-                uint32_t bank = banks.bankOf[s];
-                uint32_t row = rowCounter[bank]++;
-                inputRows = std::max(inputRows, row + 1);
-                ir.inputLocation[inputIndexOf[s]] = {row, bank};
-                ir.outputs.push_back({s, row, bank});
-            } else {
-                compute_sinks.push_back(s);
-            }
-        }
-        uint32_t out_row = inputRows;
-        while (!compute_sinks.empty()) {
-            // One store per round; each bank contributes one value.
-            uint64_t used = 0;
-            std::vector<NodeId> batch;
-            for (auto it = compute_sinks.begin();
-                 it != compute_sinks.end();) {
-                uint32_t bank = banks.bankOf[*it];
-                if (used >> bank & 1) {
-                    ++it;
-                    continue;
-                }
-                used |= uint64_t(1) << bank;
-                batch.push_back(*it);
-                it = compute_sinks.erase(it);
-            }
-            IrInstr store;
-            store.kind = batch.size() <= 4 ? InstrKind::Store4
-                                           : InstrKind::Store;
-            store.memRow = out_row;
-            for (NodeId v : batch) {
-                bool last = --remainingReads[v] == 0;
-                dpu_assert(last, "store must be the final read");
-                store.reads.push_back({instOf[v], true});
-                ir.outputs.push_back({v, out_row, banks.bankOf[v]});
-            }
-            ir.instrs.push_back(std::move(store));
-            ++out_row;
-        }
-        ir.outputRows = out_row - inputRows;
-    }
-
-    /** Every counted read must have been emitted. */
+    /** Every locally counted read must have been emitted. */
     void
     checkBalance() const
     {
-        for (NodeId v = 0; v < dag.numNodes(); ++v)
-            dpu_assert(remainingReads[v] == 0,
+        for (uint32_t remaining : remainingLocal)
+            dpu_assert(remaining == 0, "read accounting out of balance");
+        for (const auto &kv : remainingExt)
+            dpu_assert(kv.second == 0,
                        "read accounting out of balance");
     }
 
     const Dag &dag;
     const ArchConfig &cfg;
-    const BlockDecomposition &dec;
+    std::span<const Block> blocks;
+    NodeId lo;
+    NodeId hi;
     const BankAssignment &banks;
+    const CodegenShared &shared;
+    uint32_t part;
     Rng rng;
 
-    IrProgram ir;
-    std::vector<uint32_t> remainingReads;
-    std::vector<uint32_t> inputIndexOf;
-    std::vector<bool> loaded;
-    std::vector<InstanceId> instOf;
+    IrFragment frag;
+    std::unordered_map<NodeId, uint32_t> externalIndexOf;
+    std::vector<uint32_t> remainingLocal; ///< idx space: v - lo.
+    std::unordered_map<NodeId, uint32_t> remainingExt;
+    std::vector<InstanceId> instLocal;    ///< idx space: v - lo.
+    std::unordered_map<NodeId, InstanceId> instExt;
     std::vector<uint32_t> rowCounter;
-    uint32_t inputRows = 0;
 };
 
 } // namespace
+
+CodegenShared
+computeCodegenShared(const Dag &dag,
+                     const std::vector<std::span<const Block>> &partBlocks)
+{
+    CodegenShared shared;
+    shared.inputIndexOf.assign(dag.numNodes(), CodegenShared::never);
+    uint32_t k = 0;
+    for (NodeId v = 0; v < dag.numNodes(); ++v)
+        if (dag.node(v).isInput())
+            shared.inputIndexOf[v] = k++;
+    shared.numInputs = k;
+
+    shared.firstLoaderPart.assign(dag.numNodes(), CodegenShared::never);
+    shared.lastReaderPart.assign(dag.numNodes(), CodegenShared::never);
+    for (uint32_t p = 0; p < partBlocks.size(); ++p) {
+        for (const Block &blk : partBlocks[p]) {
+            for (NodeId v : blk.inputs) {
+                if (shared.firstLoaderPart[v] == CodegenShared::never)
+                    shared.firstLoaderPart[v] = p;
+                shared.lastReaderPart[v] = p; // partitions ascend
+            }
+        }
+    }
+    // Compute sinks are read one final time by the closing store.
+    for (NodeId s : dag.sinks())
+        if (!dag.node(s).isInput())
+            shared.lastReaderPart[s] = CodegenShared::storeSentinel;
+    return shared;
+}
+
+IrFragment
+generateIrForRange(const Dag &dag, const ArchConfig &cfg,
+                   std::span<const Block> blocks,
+                   std::pair<NodeId, NodeId> range,
+                   const BankAssignment &banks,
+                   const CodegenShared &shared, uint32_t part)
+{
+    return CodeGen(dag, cfg, blocks, range, banks, shared, part).run();
+}
+
+IrProgram
+mergeIrFragments(const Dag &dag, const ArchConfig &cfg,
+                 const BankAssignment &banks, const CodegenShared &shared,
+                 std::vector<IrFragment> &&fragments,
+                 const std::vector<size_t> &blocksPerPart)
+{
+    dpu_assert(fragments.size() == blocksPerPart.size(),
+               "fragment/block-count mismatch");
+    IrProgram out;
+    size_t total_instances = 0, total_instrs = 0;
+    for (const IrFragment &f : fragments) {
+        total_instances += f.ir.instances.size();
+        total_instrs += f.ir.instrs.size();
+    }
+    out.instances.reserve(total_instances);
+    out.instrs.reserve(total_instrs);
+    out.inputLocation.assign(shared.numInputs, {0, 0});
+
+    // Current primary instance of each value, across fragments.
+    std::vector<InstanceId> instOf(dag.numNodes(), invalidInstance);
+    std::vector<uint32_t> rowCounter(cfg.banks, 0);
+    uint32_t inputRows = 0;
+    uint32_t blockOffset = 0;
+
+    auto remap = [&](InstanceId id, uint32_t inst_offset,
+                     const IrFragment &f) {
+        if (IrFragment::isExternal(id)) {
+            NodeId v = f.externals[id & ~IrFragment::externalFlag];
+            dpu_assert(instOf[v] != invalidInstance,
+                       "external reference before definition");
+            return instOf[v];
+        }
+        return id + inst_offset;
+    };
+
+    for (size_t fi = 0; fi < fragments.size(); ++fi) {
+        IrFragment &f = fragments[fi];
+        uint32_t inst_offset = static_cast<uint32_t>(out.instances.size());
+        out.instances.insert(out.instances.end(),
+                             f.ir.instances.begin(),
+                             f.ir.instances.end());
+        for (auto [value, id] : f.defs)
+            instOf[value] = id + inst_offset;
+
+        for (IrInstr &in : f.ir.instrs) {
+            for (IrRead &r : in.reads)
+                r.inst = remap(r.inst, inst_offset, f);
+            for (IrWrite &w : in.writes)
+                w.inst += inst_offset;
+            if (in.kind == InstrKind::Exec)
+                in.blockId += blockOffset;
+            if (in.kind == InstrKind::Load) {
+                // Replay the row allocation against the global
+                // per-bank fill levels (fragments numbered their rows
+                // from zero). One aligned row per load instruction.
+                uint32_t row = 0;
+                for (const IrWrite &w : in.writes)
+                    row = std::max(row,
+                                   rowCounter[out.instances[w.inst].bank]);
+                in.memRow = row;
+                for (const IrWrite &w : in.writes) {
+                    const RegInstance &inst = out.instances[w.inst];
+                    rowCounter[inst.bank] = row + 1;
+                    out.inputLocation[shared.inputIndexOf[inst.value]] =
+                        {row, inst.bank};
+                }
+                inputRows = std::max(inputRows, row + 1);
+            }
+            out.instrs.push_back(std::move(in));
+        }
+        out.copyResolvedConflicts += f.ir.copyResolvedConflicts;
+        blockOffset += static_cast<uint32_t>(blocksPerPart[fi]);
+    }
+
+    // Final stores: every DAG result goes to the output region.
+    std::vector<NodeId> compute_sinks;
+    for (NodeId s : dag.sinks()) {
+        if (dag.node(s).isInput()) {
+            // The result *is* an input. Input sinks have no
+            // consumers, so no fragment loaded them: give them a
+            // memory home now (no hardware work needed).
+            dpu_assert(instOf[s] == invalidInstance,
+                       "input sink was loaded");
+            uint32_t bank = banks.bankOf[s];
+            uint32_t row = rowCounter[bank]++;
+            inputRows = std::max(inputRows, row + 1);
+            out.inputLocation[shared.inputIndexOf[s]] = {row, bank};
+            out.outputs.push_back({s, row, bank});
+        } else {
+            compute_sinks.push_back(s);
+        }
+    }
+    uint32_t out_row = inputRows;
+    while (!compute_sinks.empty()) {
+        // One store per round; each bank contributes one value.
+        uint64_t used = 0;
+        std::vector<NodeId> batch;
+        for (auto it = compute_sinks.begin(); it != compute_sinks.end();) {
+            uint32_t bank = banks.bankOf[*it];
+            if (used >> bank & 1) {
+                ++it;
+                continue;
+            }
+            used |= uint64_t(1) << bank;
+            batch.push_back(*it);
+            it = compute_sinks.erase(it);
+        }
+        IrInstr store;
+        store.kind = batch.size() <= 4 ? InstrKind::Store4
+                                       : InstrKind::Store;
+        store.memRow = out_row;
+        for (NodeId v : batch) {
+            dpu_assert(shared.lastReaderPart[v] ==
+                       CodegenShared::storeSentinel,
+                       "store must be the final read");
+            dpu_assert(instOf[v] != invalidInstance,
+                       "stored value never defined");
+            store.reads.push_back({instOf[v], true});
+            out.outputs.push_back({v, out_row, banks.bankOf[v]});
+        }
+        out.instrs.push_back(std::move(store));
+        ++out_row;
+    }
+    out.inputRows = inputRows;
+    out.outputRows = out_row - inputRows;
+    return out;
+}
 
 IrProgram
 generateIr(const Dag &dag, const ArchConfig &cfg,
            const BlockDecomposition &dec, const BankAssignment &banks)
 {
-    return CodeGen(dag, cfg, dec, banks).run();
+    std::vector<std::span<const Block>> partBlocks{
+        std::span<const Block>(dec.blocks)};
+    CodegenShared shared = computeCodegenShared(dag, partBlocks);
+    std::vector<IrFragment> frags;
+    frags.push_back(generateIrForRange(
+        dag, cfg, partBlocks[0],
+        {0, static_cast<NodeId>(dag.numNodes())}, banks, shared, 0));
+    return mergeIrFragments(dag, cfg, banks, shared, std::move(frags),
+                            {dec.blocks.size()});
 }
 
 } // namespace dpu

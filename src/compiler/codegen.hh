@@ -7,10 +7,22 @@
  * bank), and the exec itself; after the last block, stores of the
  * DAG's results. Also fixes the data-memory layout of inputs (row =
  * per-bank arrival order, column = home bank) and outputs.
+ *
+ * The pass is split for partition-parallel compilation: each
+ * partition range generates an *IR fragment* (local instance ids;
+ * reads of values produced by earlier partitions are encoded as
+ * external references), and mergeIrFragments() concatenates the
+ * fragments in partition order, resolves the external references,
+ * replays the input-load row allocation against global per-bank
+ * counters, and emits the final stores. generateIr() is the
+ * single-fragment convenience wrapper; its output for one partition
+ * is byte-identical to the historical monolithic pass.
  */
 
 #ifndef DPU_COMPILER_CODEGEN_HH
 #define DPU_COMPILER_CODEGEN_HH
+
+#include <span>
 
 #include "compiler/blocks.hh"
 #include "compiler/ir.hh"
@@ -18,6 +30,87 @@
 #include "dag/dag.hh"
 
 namespace dpu {
+
+/**
+ * Read-only context shared by every fragment of one compile,
+ * precomputed once from all partitions' blocks. It carries the
+ * cross-partition knowledge a fragment cannot derive locally: which
+ * partition emits the load of each DAG input, and in which partition
+ * each value's globally-last register read happens (so valid_rst
+ * lands on the right read regardless of partition count).
+ */
+struct CodegenShared
+{
+    /** lastReaderPart value for "freed by the final store". */
+    static constexpr uint32_t storeSentinel = static_cast<uint32_t>(-2);
+    static constexpr uint32_t never = static_cast<uint32_t>(-1);
+
+    /** Dense input index of DAG input nodes (others: never). */
+    std::vector<uint32_t> inputIndexOf;
+    uint32_t numInputs = 0;
+
+    /** Partition whose fragment loads each DAG input (never = unread). */
+    std::vector<uint32_t> firstLoaderPart;
+
+    /** Partition holding the globally-last register read of a value;
+     *  storeSentinel for compute sinks (read by the final store). */
+    std::vector<uint32_t> lastReaderPart;
+};
+
+/** Precompute the shared context; partBlocks[p] = blocks of range p
+ *  in ascending range order. */
+CodegenShared computeCodegenShared(
+    const Dag &dag, const std::vector<std::span<const Block>> &partBlocks);
+
+/** One partition's IR with partition-local instance ids. */
+struct IrFragment
+{
+    IrProgram ir;
+
+    /** Value behind each external reference, indexed by the low bits
+     *  of reads whose externalFlag is set. */
+    std::vector<NodeId> externals;
+
+    /** Primary instance created here per value (loads, exec outputs;
+     *  conflict-copy temporaries are not listed). */
+    std::vector<std::pair<NodeId, InstanceId>> defs;
+
+    static constexpr InstanceId externalFlag = 1u << 31;
+    static bool isExternal(InstanceId id) { return id & externalFlag; }
+};
+
+/**
+ * Generate the IR fragment of one partition. Pure in its inputs, so
+ * fragments of different partitions can run concurrently; per-node
+ * working state is sized to the range (plus small maps for values
+ * reached below it), so P fragments cost O(N) total, not O(P*N).
+ *
+ * @param blocks The partition's blocks (RangeDecomposition::blocks).
+ * @param range The partition's id range (RangeDecomposition::range).
+ * @param banks Merged whole-DAG bank assignment (bankOf/peOf indexed
+ *        by global node id).
+ * @param part This partition's index among the ranges.
+ */
+IrFragment generateIrForRange(const Dag &dag, const ArchConfig &cfg,
+                              std::span<const Block> blocks,
+                              std::pair<NodeId, NodeId> range,
+                              const BankAssignment &banks,
+                              const CodegenShared &shared, uint32_t part);
+
+/**
+ * Merge fragments (ascending partition order) into the complete IR:
+ * offsets instance and block ids, resolves external references,
+ * replays the input-load rows against global per-bank counters, and
+ * emits the final stores. Deterministic given the fragments.
+ *
+ * @param blocksPerPart Number of blocks of each partition, for the
+ *        global block-id offsets (same order as the fragments).
+ */
+IrProgram mergeIrFragments(const Dag &dag, const ArchConfig &cfg,
+                           const BankAssignment &banks,
+                           const CodegenShared &shared,
+                           std::vector<IrFragment> &&fragments,
+                           const std::vector<size_t> &blocksPerPart);
 
 /** Generate the IR program (hazard-oblivious order; step 3 fixes it). */
 IrProgram generateIr(const Dag &dag, const ArchConfig &cfg,

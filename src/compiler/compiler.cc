@@ -1,17 +1,29 @@
 #include "compiler/compiler.hh"
 
 #include <chrono>
+#include <span>
 
 #include "compiler/blocks.hh"
 #include "compiler/codegen.hh"
 #include "compiler/finalize.hh"
 #include "compiler/partitioner.hh"
 #include "compiler/scheduler.hh"
+#include "dag/algorithms.hh"
 #include "dag/binarize.hh"
+#include "support/parallel.hh"
 
 namespace dpu {
 
 namespace {
+
+/** Per-partition mapper seed: partition 0 keeps the user seed so
+ *  unpartitioned compiles reproduce the historical pipeline bit for
+ *  bit; later partitions get decorrelated deterministic streams. */
+uint64_t
+partitionSeed(uint64_t seed, size_t part)
+{
+    return seed + 0x9e3779b97f4a7c15ull * part;
+}
 
 /**
  * Program footprint if the automatic write policy (§III-B) did not
@@ -75,16 +87,63 @@ compile(const Dag &input, const ArchConfig &cfg,
     std::vector<std::pair<NodeId, NodeId>> parts;
     if (options.partitionNodes)
         parts = partitionByCount(dag, options.partitionNodes);
+    if (parts.empty()) // unpartitioned, or a DAG with no compute nodes
+        parts.push_back({0, static_cast<NodeId>(dag.numNodes())});
+    const size_t num_parts = parts.size();
 
+    // Shared read-only precompute for the range-scoped steps.
+    dpu_assert(dag.isBinary(), "compile needs a binarized DAG");
+    std::vector<uint32_t> dfs_positions = dfsPreorderPositions(dag);
+
+    // Steps 1+2, partition-parallel: each range's block decomposition
+    // and bank mapping depend only on (dag, cfg, seed, range), so any
+    // thread count produces the same pieces.
+    std::vector<RangeDecomposition> pieces(num_parts);
+    std::vector<BankAssignment> pieceBanks(num_parts);
+    parallelFor(num_parts, options.threads, [&](size_t p) {
+        pieces[p] = decomposeRangeIntoBlocks(dag, cfg, options.seed,
+                                             parts[p], dfs_positions);
+        pieceBanks[p] =
+            assignBanksForRange(dag, cfg, pieces[p], options.bankPolicy,
+                                partitionSeed(options.seed, p));
+    });
+
+    // Barrier: merge the per-range bank maps into the whole-DAG view
+    // codegen needs (a range reads values earlier ranges own).
+    BankAssignment banks;
+    banks.bankOf.assign(dag.numNodes(), BankAssignment::invalid);
+    banks.peOf.assign(dag.numNodes(), BankAssignment::invalid);
+    std::vector<std::span<const Block>> partBlocks(num_parts);
+    std::vector<size_t> blocksPerPart(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+        NodeId lo = pieces[p].range.first;
+        for (size_t i = 0; i < pieceBanks[p].bankOf.size(); ++i) {
+            banks.bankOf[lo + i] = pieceBanks[p].bankOf[i];
+            banks.peOf[lo + i] = pieceBanks[p].peOf[i];
+        }
+        partBlocks[p] = std::span<const Block>(pieces[p].blocks);
+        blocksPerPart[p] = pieces[p].blocks.size();
+    }
+    CodegenShared shared = computeCodegenShared(dag, partBlocks);
+
+    // Step "codegen", partition-parallel: fragments only consume the
+    // merged read-only state above.
+    std::vector<IrFragment> frags(num_parts);
+    parallelFor(num_parts, options.threads, [&](size_t p) {
+        frags[p] =
+            generateIrForRange(dag, cfg, partBlocks[p], pieces[p].range,
+                               banks, shared, static_cast<uint32_t>(p));
+    });
+
+    // Deterministic sequential merge + steps 3 and 4.
+    IrProgram ir = mergeIrFragments(dag, cfg, banks, shared,
+                                    std::move(frags), blocksPerPart);
     BlockDecomposition dec =
-        decomposeIntoBlocks(dag, cfg, options.seed, parts);
+        mergeRangeDecompositions(dag, std::move(pieces));
+    banks.readConflicts = countReadConflicts(dec, banks);
     if (options.validate)
         validateDecomposition(dag, cfg, dec);
 
-    BankAssignment banks =
-        assignBanks(dag, cfg, dec, options.bankPolicy, options.seed);
-
-    IrProgram ir = generateIr(dag, cfg, dec, banks);
     reorderForPipeline(ir, cfg, options.reorderWindow);
     if (options.validate)
         checkHazardFree(ir, cfg);

@@ -36,6 +36,13 @@ struct CompileOptions
 
     /** Run the expensive internal validations (tests set this). */
     bool validate = false;
+
+    /** Host worker threads for partition-parallel compilation. Each
+     *  partition's block decomposition, bank mapping and IR codegen
+     *  run concurrently; the merged program is byte-identical for
+     *  every thread count (and to threads = 1). Only effective when
+     *  partitionNodes yields more than one partition. */
+    uint32_t threads = 1;
 };
 
 /**

@@ -35,15 +35,24 @@ randomSetBit(BankMask m, Rng &rng)
     }
 }
 
+/**
+ * Step-2 engine over one contiguous id range. Per-node state is
+ * range-local (indexed v - lo); block inputs coming from outside the
+ * range already have their banks fixed by their owning range and are
+ * simply ignored by the conflict objectives here.
+ */
 class BankMapper
 {
   public:
     BankMapper(const Dag &dag, const ArchConfig &cfg,
-               const BlockDecomposition &dec, BankPolicy policy,
-               uint64_t seed)
-        : dag(dag), cfg(cfg), dec(dec), policy(policy), rng(seed)
+               const std::vector<Block> &blocks, NodeId lo, NodeId hi,
+               const uint32_t *block_of, const uint8_t *is_io,
+               BankPolicy policy, uint64_t seed)
+        : dag(dag), cfg(cfg), blocks(blocks), lo(lo), hi(hi),
+          blockOf(block_of), isIo(is_io), policy(policy), rng(seed)
     {
         dpu_assert(cfg.banks <= 64, "bank masks are 64-bit");
+        dpu_assert(lo <= hi && hi <= dag.numNodes(), "bad mapper range");
     }
 
     BankAssignment
@@ -55,23 +64,27 @@ class BankMapper
             assignRandomly();
         else
             assignGreedily();
-        out.readConflicts = countReadConflicts(dec, out);
         return std::move(out);
     }
 
   private:
+    size_t extent() const { return hi - lo; }
+    bool inRange(NodeId v) const { return v >= lo && v < hi; }
+    size_t idx(NodeId v) const { return v - lo; }
+
     /** Index io values and their reader blocks. */
     void
     collectIoValues()
     {
-        out.bankOf.assign(dag.numNodes(), BankAssignment::invalid);
-        out.peOf.assign(dag.numNodes(), BankAssignment::invalid);
-        readerBlocks.assign(dag.numNodes(), {});
-        for (uint32_t b = 0; b < dec.blocks.size(); ++b)
-            for (NodeId v : dec.blocks[b].inputs)
-                readerBlocks[v].push_back(b);
-        for (NodeId v = 0; v < dag.numNodes(); ++v)
-            if (dec.isIo[v])
+        out.bankOf.assign(extent(), BankAssignment::invalid);
+        out.peOf.assign(extent(), BankAssignment::invalid);
+        readerBlocks.assign(extent(), {});
+        for (uint32_t b = 0; b < blocks.size(); ++b)
+            for (NodeId v : blocks[b].inputs)
+                if (inRange(v))
+                    readerBlocks[idx(v)].push_back(b);
+        for (NodeId v = lo; v < hi; ++v)
+            if (isIo[idx(v)])
                 ioValues.push_back(v);
     }
 
@@ -84,7 +97,7 @@ class BankMapper
             return cfg.banks == 64 ? ~BankMask(0)
                                    : (BankMask(1) << cfg.banks) - 1;
         }
-        const Block &blk = dec.blocks[dec.blockOf[v]];
+        const Block &blk = blocks[blockOf[idx(v)]];
         auto it = blk.placements.find(v);
         dpu_assert(it != blk.placements.end(), "io node unplaced");
         BankMask m = 0;
@@ -97,21 +110,21 @@ class BankMapper
     void
     initCompatibility()
     {
-        sb.assign(dag.numNodes(), 0);
-        phys.assign(dag.numNodes(), 0);
-        bucketOf.assign(dag.numNodes(), BankAssignment::invalid);
+        sb.assign(extent(), 0);
+        phys.assign(extent(), 0);
+        bucketOf.assign(extent(), BankAssignment::invalid);
         buckets.assign(cfg.banks + 1, {});
         for (NodeId v : ioValues) {
-            phys[v] = physicalMask(v);
-            sb[v] = phys[v];
-            moveToBucket(v, popcount(sb[v]));
+            phys[idx(v)] = physicalMask(v);
+            sb[idx(v)] = phys[idx(v)];
+            moveToBucket(v, popcount(sb[idx(v)]));
         }
     }
 
     void
     moveToBucket(NodeId v, uint32_t count)
     {
-        bucketOf[v] = count;
+        bucketOf[idx(v)] = count;
         buckets[count].push_back(v);
     }
 
@@ -127,8 +140,8 @@ class BankMapper
                 std::swap(bucket[k], bucket.back());
                 NodeId v = bucket.back();
                 bucket.pop_back();
-                if (bucketOf[v] != c ||
-                    out.bankOf[v] != BankAssignment::invalid) {
+                if (bucketOf[idx(v)] != c ||
+                    out.bankOf[idx(v)] != BankAssignment::invalid) {
                     continue; // stale entry
                 }
                 return v;
@@ -141,13 +154,15 @@ class BankMapper
     void
     removeBank(NodeId v, uint32_t bank)
     {
-        if (out.bankOf[v] != BankAssignment::invalid)
+        if (!inRange(v))
+            return; // owned (and already fixed) by another range
+        if (out.bankOf[idx(v)] != BankAssignment::invalid)
             return;
         BankMask bit = BankMask(1) << bank;
-        if (!(sb[v] & bit))
+        if (!(sb[idx(v)] & bit))
             return;
-        sb[v] &= ~bit;
-        moveToBucket(v, popcount(sb[v]));
+        sb[idx(v)] &= ~bit;
+        moveToBucket(v, popcount(sb[idx(v)]));
     }
 
     /** Outputs of v's block other than v (simul_wr of algorithm 2). */
@@ -157,7 +172,7 @@ class BankMapper
         static const std::vector<NodeId> none;
         if (dag.node(v).isInput())
             return none;
-        return dec.blocks[dec.blockOf[v]].outputs;
+        return blocks[blockOf[idx(v)]].outputs;
     }
 
     /** Banks already taken by assigned outputs of v's block. */
@@ -166,8 +181,8 @@ class BankMapper
     {
         BankMask m = 0;
         for (NodeId w : blockOutputs(v))
-            if (w != v && out.bankOf[w] != BankAssignment::invalid)
-                m |= BankMask(1) << out.bankOf[w];
+            if (w != v && out.bankOf[idx(w)] != BankAssignment::invalid)
+                m |= BankMask(1) << out.bankOf[idx(w)];
         return m;
     }
 
@@ -181,13 +196,14 @@ class BankMapper
     {
         std::vector<uint32_t> c(cfg.banks, 0);
         auto tally = [&](NodeId w) {
-            if (w != v && out.bankOf[w] != BankAssignment::invalid)
-                ++c[out.bankOf[w]];
+            if (w != v && inRange(w) &&
+                out.bankOf[idx(w)] != BankAssignment::invalid)
+                ++c[out.bankOf[idx(w)]];
         };
         for (NodeId w : blockOutputs(v))
             tally(w);
-        for (uint32_t rb : readerBlocks[v])
-            for (NodeId w : dec.blocks[rb].inputs)
+        for (uint32_t rb : readerBlocks[idx(v)])
+            for (NodeId w : blocks[rb].inputs)
                 tally(w);
         return c;
     }
@@ -206,8 +222,8 @@ class BankMapper
         const auto &outs = blockOutputs(v);
         std::vector<NodeId> ownerOf(cfg.banks, invalidNode);
         for (NodeId w : outs)
-            if (w != v && out.bankOf[w] != BankAssignment::invalid)
-                ownerOf[out.bankOf[w]] = w;
+            if (w != v && out.bankOf[idx(w)] != BankAssignment::invalid)
+                ownerOf[out.bankOf[idx(w)]] = w;
 
         std::vector<bool> visited(cfg.banks, false);
         // Depth-first augmenting path: take bank b for `node`,
@@ -219,11 +235,11 @@ class BankMapper
                 visited[b] = true;
                 NodeId owner = ownerOf[b];
                 if (owner == invalidNode ||
-                    self(self, owner, phys[owner]) >= 0) {
+                    self(self, owner, phys[idx(owner)]) >= 0) {
                     ownerOf[b] = node;
                     if (node != v) {
-                        out.bankOf[node] = b;
-                        out.peOf[node] = pickWriterPe(node, b);
+                        out.bankOf[idx(node)] = b;
+                        out.peOf[idx(node)] = pickWriterPe(node, b);
                     }
                     return static_cast<int>(b);
                 }
@@ -241,7 +257,7 @@ class BankMapper
     uint32_t
     pickWriterPe(NodeId v, uint32_t bank) const
     {
-        const Block &blk = dec.blocks[dec.blockOf[v]];
+        const Block &blk = blocks[blockOf[idx(v)]];
         for (uint32_t pe : blk.placements.at(v)) {
             auto banks = writableBanks(cfg, pe);
             if (std::find(banks.begin(), banks.end(), bank) != banks.end())
@@ -255,17 +271,17 @@ class BankMapper
     void
     commitBank(NodeId v, uint32_t bank)
     {
-        out.bankOf[v] = bank;
+        out.bankOf[idx(v)] = bank;
         if (!dag.node(v).isInput())
-            out.peOf[v] = pickWriterPe(v, bank);
+            out.peOf[idx(v)] = pickWriterPe(v, bank);
         // Constraint G (intra-block): block-mates may not share it.
         for (NodeId w : blockOutputs(v))
             if (w != v)
                 removeBank(w, bank);
         // Objective I (inter-block): values read together with v
         // should avoid v's bank.
-        for (uint32_t rb : readerBlocks[v])
-            for (NodeId w : dec.blocks[rb].inputs)
+        for (uint32_t rb : readerBlocks[idx(v)])
+            for (NodeId w : blocks[rb].inputs)
                 if (w != v)
                     removeBank(w, bank);
     }
@@ -278,7 +294,7 @@ class BankMapper
             if (v == invalidNode)
                 break;
             BankMask taken = blockTakenMask(v);
-            BankMask free_compatible = sb[v] & ~taken;
+            BankMask free_compatible = sb[idx(v)] & ~taken;
             if (free_compatible) {
                 commitBank(v, randomSetBit(free_compatible, rng));
                 continue;
@@ -286,11 +302,11 @@ class BankMapper
             // No conflict-free compatible bank left. Fall back to the
             // least-contended physically writable bank (read conflicts
             // become copies), still honoring constraint G.
-            BankMask hard = phys[v] & ~taken;
+            BankMask hard = phys[idx(v)] & ~taken;
             if (!hard) {
                 // Every physical bank is taken by a block-mate: reseat
                 // mates via an augmenting path (must succeed).
-                bool ok = augmentForBank(v, phys[v]);
+                bool ok = augmentForBank(v, phys[idx(v)]);
                 dpu_assert(ok, "write-port matching infeasible");
                 continue;
             }
@@ -316,9 +332,9 @@ class BankMapper
     {
         for (NodeId v : ioValues) {
             BankMask taken = blockTakenMask(v);
-            BankMask hard = phys[v] & ~taken;
+            BankMask hard = phys[idx(v)] & ~taken;
             if (!hard) {
-                bool ok = augmentForBank(v, phys[v]);
+                bool ok = augmentForBank(v, phys[idx(v)]);
                 dpu_assert(ok, "write-port matching infeasible");
                 continue;
             }
@@ -328,7 +344,11 @@ class BankMapper
 
     const Dag &dag;
     const ArchConfig &cfg;
-    const BlockDecomposition &dec;
+    const std::vector<Block> &blocks;
+    NodeId lo;
+    NodeId hi;
+    const uint32_t *blockOf; ///< Range-local block ids (idx space).
+    const uint8_t *isIo;     ///< Range-local io marks (idx space).
     BankPolicy policy;
     Rng rng;
     BankAssignment out;
@@ -347,7 +367,28 @@ BankAssignment
 assignBanks(const Dag &dag, const ArchConfig &cfg,
             const BlockDecomposition &dec, BankPolicy policy, uint64_t seed)
 {
-    return BankMapper(dag, cfg, dec, policy, seed).run();
+    // Whole-DAG range: global and range-local indexing coincide.
+    std::vector<uint8_t> is_io(dag.numNodes(), 0);
+    for (NodeId v = 0; v < dag.numNodes(); ++v)
+        is_io[v] = dec.isIo[v] ? 1 : 0;
+    BankAssignment out =
+        BankMapper(dag, cfg, dec.blocks, 0,
+                   static_cast<NodeId>(dag.numNodes()),
+                   dec.blockOf.data(), is_io.data(), policy, seed)
+            .run();
+    out.readConflicts = countReadConflicts(dec, out);
+    return out;
+}
+
+BankAssignment
+assignBanksForRange(const Dag &dag, const ArchConfig &cfg,
+                    const RangeDecomposition &dec, BankPolicy policy,
+                    uint64_t seed)
+{
+    return BankMapper(dag, cfg, dec.blocks, dec.range.first,
+                      dec.range.second, dec.blockOf.data(),
+                      dec.isIo.data(), policy, seed)
+        .run();
 }
 
 uint64_t

@@ -66,6 +66,24 @@ BankAssignment assignBanks(const Dag &dag, const ArchConfig &cfg,
                            BankPolicy policy = BankPolicy::ConflictAware,
                            uint64_t seed = 1);
 
+/**
+ * Run step 2 on one partition range in isolation: assigns home banks
+ * to the io values the range owns (its DAG inputs and its blocks'
+ * outputs), considering only intra-range reader blocks for the
+ * conflict objectives. Values read from earlier partitions keep the
+ * banks their owners chose, so ranges can be mapped concurrently and
+ * merged deterministically; the price is that conflicts between
+ * values first read together across a partition boundary are not
+ * optimized (they are still resolved correctly by copies later).
+ *
+ * The returned bankOf/peOf are range-local (indexed v - range.first)
+ * and readConflicts is left at 0 — count it globally after merging.
+ */
+BankAssignment assignBanksForRange(const Dag &dag, const ArchConfig &cfg,
+                                   const RangeDecomposition &dec,
+                                   BankPolicy policy = BankPolicy::ConflictAware,
+                                   uint64_t seed = 1);
+
 /** Recount read conflicts of an assignment (test/diagnostic helper). */
 uint64_t countReadConflicts(const BlockDecomposition &dec,
                             const BankAssignment &assignment);

@@ -21,7 +21,16 @@ partitionByCount(const Dag &dag, size_t max_compute_nodes)
         }
         ++compute_in_part;
     }
-    parts.push_back({start, static_cast<NodeId>(dag.numNodes())});
+    // Only emit the trailing range when it contains compute nodes:
+    // an empty or input-only DAG used to yield a compute-free
+    // partition here and now yields no ranges. compute_in_part is
+    // zero after the loop iff the DAG has no compute nodes at all
+    // (every boundary reset immediately counts the node that
+    // triggered it), and the trailing range always extends to
+    // numNodes(), so an input-only tail rides along with the last
+    // compute-bearing range and every node keeps a bank owner.
+    if (compute_in_part)
+        parts.push_back({start, static_cast<NodeId>(dag.numNodes())});
     return parts;
 }
 

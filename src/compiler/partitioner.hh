@@ -25,8 +25,10 @@ using PartitionRange = std::pair<NodeId, NodeId>;
 
 /**
  * Split a DAG into consecutive id ranges, each containing at most
- * `max_compute_nodes` compute nodes. Always returns at least one
- * range covering the whole DAG.
+ * `max_compute_nodes` compute nodes and at least one. The ranges
+ * cover every node (an input-only tail is merged into the preceding
+ * range); a DAG with no compute nodes yields no ranges at all, which
+ * callers treat as "compile the whole DAG as a single partition".
  */
 std::vector<PartitionRange> partitionByCount(const Dag &dag,
                                              size_t max_compute_nodes);

@@ -44,6 +44,10 @@ struct CompileStats
     uint64_t dataBits = 0;      ///< Data-memory footprint in bits.
 
     double compileSeconds = 0.0;
+
+    /** 1 when this program came out of a ProgramCache instead of a
+     *  fresh compile (compileSeconds is then the fetch time). */
+    uint64_t cacheHits = 0;
 };
 
 /** A compiled, executable program. */

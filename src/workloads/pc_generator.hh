@@ -24,7 +24,8 @@ struct PcParams
 {
     size_t targetOperations = 10000; ///< Compute nodes to generate.
     size_t depth = 32;               ///< Longest path (layers).
-    size_t numInputs = 0;            ///< 0 => targetOperations / 8.
+    size_t numInputs = 0; ///< 0 => max(8, targetOperations / 8): tiny
+                          ///  circuits keep a sane leaf pool.
     double crossLayerFraction = 0.35;///< P(2nd operand is long-range).
     uint64_t seed = 1;
 };

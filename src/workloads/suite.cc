@@ -151,6 +151,19 @@ buildWorkloadDag(const WorkloadSpec &spec, double scale)
     dpu_panic("unknown workload class");
 }
 
+CompiledProgram
+compileWorkload(const WorkloadSpec &spec, double scale,
+                const ArchConfig &cfg, const CompileOptions &options,
+                ProgramCache *cache, Dag *out_dag)
+{
+    Dag dag = buildWorkloadDag(spec, scale);
+    CompiledProgram prog = cache ? cache->compile(dag, cfg, options)
+                                 : compile(dag, cfg, options);
+    if (out_dag)
+        *out_dag = std::move(dag);
+    return prog;
+}
+
 const WorkloadSpec &
 findWorkload(const std::string &name)
 {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/cache.hh"
 #include "dag/dag.hh"
 
 namespace dpu {
@@ -65,6 +66,21 @@ Dag buildWorkloadDag(const WorkloadSpec &spec, double scale = 1.0);
 
 /** Look up a spec by name across all three suites. */
 const WorkloadSpec &findWorkload(const std::string &name);
+
+/**
+ * Build a workload's DAG and compile it, going through `cache` when
+ * one is given (nullptr = always compile). The benches share their
+ * per-process and on-disk caches this way, so the suite is not
+ * recompiled once per bench binary.
+ *
+ * @param out_dag When non-null, receives the built DAG (callers that
+ *        also simulate need it; the cache cannot return it).
+ */
+CompiledProgram compileWorkload(const WorkloadSpec &spec, double scale,
+                                const ArchConfig &cfg,
+                                const CompileOptions &options,
+                                ProgramCache *cache = nullptr,
+                                Dag *out_dag = nullptr);
 
 } // namespace dpu
 

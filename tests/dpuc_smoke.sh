@@ -41,6 +41,8 @@ check 0 "--optimize --simulate" \
     "$DPUC" "$TMP/tiny.dag" --optimize --simulate
 check 0 "--out + --dot" \
     "$DPUC" "$TMP/tiny.dag" --out="$TMP/tiny.bin" --dot="$TMP/tiny.dot"
+check 0 "--partition + --threads" \
+    "$DPUC" "$TMP/tiny.dag" --partition=1 --threads=4 --simulate
 [ -s "$TMP/tiny.bin" ] || {
     echo "FAIL: --out wrote no binary image"
     fails=$((fails + 1))

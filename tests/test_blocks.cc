@@ -205,6 +205,70 @@ TEST(Blocks, PartitionedDecompositionRespectsRanges)
     }
 }
 
+TEST(Partitioner, EmptyDagYieldsNoRanges)
+{
+    Dag d;
+    EXPECT_TRUE(partitionByCount(d, 5).empty());
+}
+
+TEST(Partitioner, InputOnlyDagYieldsNoRanges)
+{
+    // Regression: this used to return one compute-free range.
+    Dag d;
+    for (int i = 0; i < 6; ++i)
+        d.addInput();
+    EXPECT_TRUE(partitionByCount(d, 5).empty());
+}
+
+TEST(Partitioner, ExactMultipleSplitHasNoRuntRange)
+{
+    // 10 compute nodes at max 5: exactly two ranges of 5 each.
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId prev = d.addInput();
+    for (int i = 0; i < 10; ++i)
+        prev = d.addNode(OpType::Add, {prev, a});
+    auto parts = partitionByCount(d, 5);
+    ASSERT_EQ(parts.size(), 2u);
+    for (auto [lo, hi] : parts) {
+        size_t compute = 0;
+        for (NodeId v = lo; v < hi; ++v)
+            if (!d.node(v).isInput())
+                ++compute;
+        EXPECT_EQ(compute, 5u);
+    }
+    EXPECT_EQ(parts.front().first, 0u);
+    EXPECT_EQ(parts.back().second, d.numNodes());
+}
+
+TEST(Partitioner, InputOnlyTailMergesIntoLastRange)
+{
+    // Regression: a split landing exactly on the last compute node
+    // with trailing inputs must not strand those inputs in a
+    // compute-free range (they would lose their bank owner in the
+    // partition-parallel pipeline).
+    Dag d;
+    NodeId a = d.addInput();
+    NodeId prev = d.addInput();
+    for (int i = 0; i < 10; ++i)
+        prev = d.addNode(OpType::Add, {prev, a});
+    d.addInput();
+    d.addInput();
+    auto parts = partitionByCount(d, 5);
+    ASSERT_FALSE(parts.empty());
+    EXPECT_EQ(parts.back().second, d.numNodes());
+    for (size_t i = 1; i < parts.size(); ++i)
+        EXPECT_EQ(parts[i].first, parts[i - 1].second);
+    for (auto [lo, hi] : parts) {
+        size_t compute = 0;
+        for (NodeId v = lo; v < hi; ++v)
+            if (!d.node(v).isInput())
+                ++compute;
+        EXPECT_GE(compute, 1u);
+        EXPECT_LE(compute, 5u);
+    }
+}
+
 TEST(Partitioner, CountsAndCoverage)
 {
     Dag d = generateRandomDag(10, 1000, 9);

@@ -230,6 +230,27 @@ TEST(PcGenerator, RandomDagIsWellFormed)
     EXPECT_EQ(v.size(), d.numNodes());
 }
 
+TEST(PcGenerator, DefaultInputCountHasAFloorOfEight)
+{
+    // numInputs = 0 means max(8, targetOperations / 8): tiny circuits
+    // keep a sane leaf pool (pins the documented floor behaviour).
+    PcParams tiny;
+    tiny.targetOperations = 16;
+    tiny.depth = 4;
+    tiny.seed = 15;
+    EXPECT_EQ(generatePc(tiny).numInputs(), 8u);
+
+    PcParams mid;
+    mid.targetOperations = 160;
+    mid.depth = 8;
+    mid.seed = 16;
+    EXPECT_EQ(generatePc(mid).numInputs(), 20u);
+
+    PcParams pinned = tiny;
+    pinned.numInputs = 3;
+    EXPECT_EQ(generatePc(pinned).numInputs(), 3u);
+}
+
 class SuiteTwinTest : public ::testing::TestWithParam<WorkloadSpec>
 {};
 

@@ -14,6 +14,9 @@
  *     --optimize                     run CSE+DCE before compiling
  *     --simulate                     run with random inputs + check
  *     --window=N --partition=N --seed=N   compiler knobs
+ *     --threads=N                    partition-parallel compile
+ *                                    workers (byte-identical output
+ *                                    for every N)
  *
  * Exit code 0 on success, 1 on user error (per gem5's fatal()
  * convention), 2 on internal error.
@@ -77,7 +80,10 @@ parseArgs(int argc, char **argv, Args &args)
             args.opts.partitionNodes = intval(a + 12);
         else if (std::strncmp(a, "--seed=", 7) == 0)
             args.opts.seed = intval(a + 7);
-        else if (a[0] == '-') {
+        else if (std::strncmp(a, "--threads=", 10) == 0) {
+            uint32_t n = intval(a + 10);
+            args.opts.threads = n < 1 ? 1 : n;
+        } else if (a[0] == '-') {
             std::fprintf(stderr, "dpuc: unknown option '%s'\n", a);
             return false;
         } else if (args.dagPath.empty())
@@ -91,7 +97,8 @@ parseArgs(int argc, char **argv, Args &args)
         std::fprintf(stderr,
                      "usage: dpuc <dag-file> [--depth=N --banks=N "
                      "--regs=N --out=F --disasm --dot=F --optimize "
-                     "--simulate --window=N --partition=N --seed=N]\n");
+                     "--simulate --window=N --partition=N --seed=N "
+                     "--threads=N]\n");
         return false;
     }
     return true;

@@ -5,14 +5,27 @@
  * machine-readable reports:
  *
  *     run_benches [--quick|--full] [--threads=N] [--only=<substr>]
- *                 [--outdir=<dir>] [--bindir=<dir>] [--list]
+ *                 [--outdir=<dir>] [--bindir=<dir>]
+ *                 [--cache-dir=<dir>] [--no-cache] [--list]
  *
  * For each bench `foo` it runs `<bindir>/foo [flags] --json=
  * <outdir>/BENCH_foo.json`, then validates that the report parses as
- * JSON. <bindir> defaults to the bench/ directory next to this
- * binary's own location (the build-tree layout); <outdir> defaults
- * to the current directory. Exit code is the number of failed
- * benches (capped at 125).
+ * JSON. Unless --no-cache is given, every bench also receives
+ * --cache-dir=<outdir>/progcache (or the --cache-dir override), so
+ * identical compiles are shared across the whole sweep instead of
+ * being redone once per bench binary.
+ *
+ * The google-benchmark `micro_benchmarks` binary is not
+ * harness-driven; when it was built, the driver appends it to the
+ * sweep via its native report flags (--benchmark_out=<file>
+ * --benchmark_out_format=json) and validates the google-benchmark
+ * JSON shape ("context" + "benchmarks"). It is skipped quietly when
+ * the library was not available at build time.
+ *
+ * <bindir> defaults to the bench/ directory next to this binary's
+ * own location (the build-tree layout); <outdir> defaults to the
+ * current directory. Exit code is the number of failed benches
+ * (capped at 125).
  *
  * A checked-in wrapper script at tools/run_benches lets this be
  * invoked from the repo root as `tools/run_benches --quick` once the
@@ -22,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,10 +57,12 @@ struct DriverArgs
     bool quick = false;
     bool full = false;
     bool list = false;
+    bool noCache = false;
     uint32_t threads = 1;
     std::string only;
     std::string outdir = ".";
     std::string bindir;
+    std::string cacheDir; ///< Default: <outdir>/progcache.
 };
 
 bool
@@ -68,12 +85,17 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args)
             args.outdir = a + 9;
         else if (std::strncmp(a, "--bindir=", 9) == 0)
             args.bindir = a + 9;
+        else if (std::strncmp(a, "--cache-dir=", 12) == 0)
+            args.cacheDir = a + 12;
+        else if (std::strcmp(a, "--no-cache") == 0)
+            args.noCache = true;
         else {
             std::fprintf(stderr,
                          "run_benches: unknown option '%s'\n"
                          "usage: run_benches [--quick|--full] "
                          "[--threads=N] [--only=<substr>] "
                          "[--outdir=<dir>] [--bindir=<dir>] "
+                         "[--cache-dir=<dir>] [--no-cache] "
                          "[--list]\n",
                          a);
             return false;
@@ -139,10 +161,44 @@ main(int argc, char **argv)
     }
 
     std::printf("run_benches: %zu registered benches, bindir=%s, "
-                "outdir=%s%s\n\n",
+                "outdir=%s%s%s\n\n",
                 bench::benchRegistry().size(), args.bindir.c_str(),
                 args.outdir.c_str(),
-                args.quick ? ", --quick" : args.full ? ", --full" : "");
+                args.quick ? ", --quick" : args.full ? ", --full" : "",
+                args.noCache ? ", cache off" : "");
+
+    std::string cache_dir =
+        args.noCache ? std::string()
+                     : (args.cacheDir.empty() ? args.outdir + "/progcache"
+                                              : args.cacheDir);
+
+    // Runs one bench command and validates its JSON report with
+    // `validate`; returns the summary status string.
+    auto run_one = [&](const std::string &cmd, const std::string &report,
+                       auto &&validate) {
+        std::printf("--- %s\n", cmd.c_str());
+        std::fflush(stdout);
+        int rc = std::system(cmd.c_str());
+        if (rc != 0) {
+            // std::system returns a wait status; decode it.
+#if defined(WIFEXITED)
+            if (WIFEXITED(rc))
+                return "FAILED (exit " +
+                       std::to_string(WEXITSTATUS(rc)) + ")";
+            if (WIFSIGNALED(rc))
+                return "FAILED (signal " +
+                       std::to_string(WTERMSIG(rc)) + ")";
+#endif
+            return "FAILED (status " + std::to_string(rc) + ")";
+        }
+        return validate(report);
+    };
+    auto validate_harness_json = [](const std::string &report) {
+        std::string error;
+        if (!bench::validJsonFile(report, &error))
+            return "BAD JSON (" + error + ")";
+        return std::string("ok");
+    };
 
     int failures = 0;
     int ran = 0;
@@ -161,33 +217,69 @@ main(int argc, char **argv)
             cmd += " --full";
         if (args.threads > 1)
             cmd += " --threads=" + std::to_string(args.threads);
+        if (args.noCache)
+            cmd += " --no-cache"; // also disables in-process caches
+        else
+            cmd += " --cache-dir=" + shellQuote(cache_dir);
         cmd += " --json=" + shellQuote(report);
-        std::printf("--- %s\n", cmd.c_str());
-        std::fflush(stdout);
 
-        int rc = std::system(cmd.c_str());
-        std::string status = "ok";
-        if (rc != 0) {
-            // std::system returns a wait status; decode it.
-#if defined(WIFEXITED)
-            if (WIFEXITED(rc))
-                status = "FAILED (exit " +
-                         std::to_string(WEXITSTATUS(rc)) + ")";
-            else if (WIFSIGNALED(rc))
-                status = "FAILED (signal " +
-                         std::to_string(WTERMSIG(rc)) + ")";
-            else
-#endif
-                status = "FAILED (status " + std::to_string(rc) + ")";
-        } else {
-            std::string error;
-            if (!bench::validJsonFile(report, &error))
-                status = "BAD JSON (" + error + ")";
-        }
+        std::string status = run_one(cmd, report, validate_harness_json);
         if (status != "ok")
             ++failures;
         summary.row().cell(b.name).cell(status).cell(report);
         std::printf("\n");
+    }
+
+    // google-benchmark micro_benchmarks: driven through its native
+    // --benchmark_out report format rather than the harness CLI.
+    const char *micro_name = "micro_benchmarks";
+    if (args.only.empty() ||
+        std::string(micro_name).find(args.only) != std::string::npos) {
+        std::string binary = args.bindir + "/" + micro_name;
+#if defined(__unix__) || defined(__APPLE__)
+        bool built = access(binary.c_str(), X_OK) == 0;
+#else
+        bool built = true;
+#endif
+        if (!built) {
+            summary.row().cell(micro_name)
+                .cell("skipped (not built: google-benchmark missing)")
+                .cell("-");
+        } else {
+            ++ran;
+            std::string report =
+                args.outdir + "/BENCH_" + micro_name + ".json";
+            std::string cmd = shellQuote(binary);
+            if (args.quick)
+                cmd += " --quick"; // its main() shrinks the fixtures
+            if (args.threads > 1)
+                cmd += " --threads=" + std::to_string(args.threads);
+            cmd += " --benchmark_out=" + shellQuote(report);
+            cmd += " --benchmark_out_format=json";
+
+            auto validate_gbench_json = [](const std::string &report) {
+                std::string error;
+                if (!bench::validJsonFile(report, &error))
+                    return "BAD JSON (" + error + ")";
+                std::ifstream in(report);
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                std::string text = buf.str();
+                // google-benchmark's JSON schema: a "context" object
+                // (host info) and a "benchmarks" array of runs.
+                if (text.find("\"context\"") == std::string::npos ||
+                    text.find("\"benchmarks\"") == std::string::npos)
+                    return std::string(
+                        "BAD JSON (not google-benchmark output)");
+                return std::string("ok");
+            };
+            std::string status =
+                run_one(cmd, report, validate_gbench_json);
+            if (status != "ok")
+                ++failures;
+            summary.row().cell(micro_name).cell(status).cell(report);
+            std::printf("\n");
+        }
     }
 
     std::printf("=== run_benches summary ===\n");
