@@ -11,6 +11,7 @@
 
 #include "model/tech28.hh"
 #include "sim/batch.hh"
+#include "support/cli.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
@@ -75,6 +76,7 @@ benchRegistry()
         {"table4_memory_footprint", "§III-B / §IV-E footprint", 1.0},
         {"ablation_blocks", "ablation E16 (block packing)", 1.0},
         {"ablation_mapper", "ablation E17 (mapper/reorder)", 0.5},
+        {"serve_latency", "§V-C2 serving mode (multi-DAG)", 0.2},
     };
     return registry;
 }
@@ -100,7 +102,15 @@ parseOptions(int argc, char **argv, double default_scale)
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--scale=", 8) == 0) {
-            o.scale = std::atof(a + 8);
+            // Strict parse: atof would turn a typo into scale 0 and
+            // the bench would quietly run a degenerate workload.
+            if (!parseDoubleArg(a + 8, o.scale) || o.scale <= 0) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --scale "
+                             "(expected a number > 0)\n",
+                             a + 8);
+                std::exit(2);
+            }
             explicit_scale = true;
         } else if (std::strcmp(a, "--full") == 0) {
             o.full = true;
@@ -109,8 +119,13 @@ parseOptions(int argc, char **argv, double default_scale)
         } else if (std::strncmp(a, "--json=", 7) == 0) {
             o.jsonPath = a + 7;
         } else if (std::strncmp(a, "--threads=", 10) == 0) {
-            int n = std::atoi(a + 10);
-            o.threads = n < 1 ? 1 : static_cast<uint32_t>(n);
+            if (!parseUint32Arg(a + 10, o.threads) || o.threads < 1) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --threads "
+                             "(expected an integer >= 1)\n",
+                             a + 10);
+                std::exit(2);
+            }
         } else if (std::strncmp(a, "--cache-dir=", 12) == 0) {
             o.cacheDir = a + 12;
         } else if (std::strcmp(a, "--no-cache") == 0) {
@@ -157,9 +172,15 @@ Context::Context(int argc, char **argv, const std::string &name_,
     if (opts.quick)
         std::printf("(--quick: smoke-test sizes, scale=%g)\n",
                     opts.scale);
-    if (!opts.cacheDir.empty())
-        std::printf("(program cache spills to %s)\n",
-                    opts.cacheDir.c_str());
+    if (!opts.cacheDir.empty()) {
+        if (programCache && programCache->diskEnabled())
+            std::printf("(program cache spills to %s)\n",
+                        opts.cacheDir.c_str());
+        else if (programCache)
+            std::printf("(cache dir '%s' unwritable; in-memory "
+                        "program cache only)\n",
+                        opts.cacheDir.c_str());
+    }
     std::printf("\n");
 }
 

@@ -100,7 +100,9 @@ struct Options
  * Parse `--scale=<f> --full --quick --json=<file> --threads=N
  * --cache-dir=<dir> --no-cache`. `--quick` divides the default scale
  * by 10 unless an explicit `--scale`/`--full` overrides it. Unknown
- * flags are fatal (exit 1) so CI catches typos.
+ * flags are fatal (exit 1) so CI catches typos; invalid numeric
+ * values (`--threads=0`, `--threads=abc`, `--scale=x`) are rejected
+ * with exit 2 instead of being silently clamped.
  */
 Options parseOptions(int argc, char **argv, double default_scale);
 

@@ -137,8 +137,17 @@ struct ArchConfig
     std::string
     label() const
     {
-        return "D" + std::to_string(depth) + ".B" + std::to_string(banks) +
-               ".R" + std::to_string(regsPerBank);
+        // Seeded with a std::string (not a leading literal +
+        // string&&): the literal+rvalue form trips GCC 12's bogus
+        // -Wrestrict diagnostic (GCC PR 105329) at some inlining
+        // depths.
+        std::string s = "D";
+        s += std::to_string(depth);
+        s += ".B";
+        s += std::to_string(banks);
+        s += ".R";
+        s += std::to_string(regsPerBank);
+        return s;
     }
 };
 

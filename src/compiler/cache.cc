@@ -92,6 +92,36 @@ constexpr uint64_t programMagic = 0x3147524f50555044ull; // "DPUPROG1"
 
 } // namespace
 
+bool
+ensureWritableDirectory(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::path path(dir);
+    std::filesystem::create_directories(path, ec);
+    if (ec)
+        return false;
+    std::filesystem::path probe =
+        path / (".probe." +
+                std::to_string(
+#if defined(__unix__) || defined(__APPLE__)
+                    static_cast<long>(::getpid())
+#else
+                    0L
+#endif
+                ));
+    {
+        std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << 'x';
+        out.flush();
+        if (!out)
+            return false;
+    }
+    std::filesystem::remove(probe, ec);
+    return true;
+}
+
 uint64_t
 dagStructuralHash(const Dag &dag)
 {
@@ -253,6 +283,17 @@ ProgramCache::ProgramCache(ProgramCacheConfig config_)
     : config(std::move(config_))
 {
     dpu_assert(config.maxEntries >= 1, "cache needs at least one slot");
+    if (!config.diskDir.empty() &&
+        !ensureWritableDirectory(config.diskDir)) {
+        // A broken spill directory (read-only FS, path under a file)
+        // must not abort the caller's sweep: degrade to the in-memory
+        // LRU and say so once.
+        std::fprintf(stderr,
+                     "ProgramCache: cache dir '%s' is not writable; "
+                     "falling back to in-memory-only caching\n",
+                     config.diskDir.c_str());
+        config.diskDir.clear();
+    }
 }
 
 CompiledProgram

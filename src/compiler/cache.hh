@@ -42,6 +42,14 @@ uint64_t dagStructuralHash(const Dag &dag);
 std::string programCacheKey(const Dag &dag, const ArchConfig &cfg,
                             const CompileOptions &options);
 
+/**
+ * Create `dir` (recursively) if missing and verify it is writable by
+ * creating and removing a probe file. False when the directory cannot
+ * be created or written (e.g. a read-only filesystem, or a path
+ * component that is a regular file).
+ */
+bool ensureWritableDirectory(const std::string &dir);
+
 /** Serialize a compiled program to a self-contained binary image. */
 std::vector<uint8_t> serializeProgram(const CompiledProgram &prog);
 
@@ -56,7 +64,9 @@ struct ProgramCacheConfig
     size_t maxEntries = 32;
 
     /** Spill directory shared across processes; empty = memory only.
-     *  Created on first write if missing. */
+     *  Probed at construction: when it cannot be created or written
+     *  (read-only FS), the cache warns once and falls back to
+     *  in-memory-only caching instead of failing every spill. */
     std::string diskDir;
 };
 
@@ -98,6 +108,10 @@ class ProgramCache
 
     /** Programs currently resident in memory. */
     size_t size() const;
+
+    /** True when the on-disk spill is active (a diskDir was given
+     *  and survived the construction-time writability probe). */
+    bool diskEnabled() const { return !config.diskDir.empty(); }
 
   private:
     /** Entries hold immutable programs behind shared_ptr so a hit

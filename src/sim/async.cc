@@ -1,0 +1,254 @@
+#include "sim/async.hh"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace dpu {
+
+AsyncBatchServer::AsyncBatchServer(AsyncServerConfig config_)
+    : config(config_)
+{
+    dpu_assert(config.cores >= 1, "need at least one model core");
+    if (config.maxBatch < 1)
+        config.maxBatch = 1;
+    if (config.workers < 1)
+        config.workers = 1;
+    if (config.hostThreadsPerBatch < 1)
+        config.hostThreadsPerBatch = 1;
+
+    try {
+        batcher = std::thread([this] { batcherMain(); });
+        pool.reserve(config.workers);
+        for (uint32_t w = 0; w < config.workers; ++w)
+            pool.emplace_back([this] { workerMain(); });
+    } catch (...) {
+        // Thread creation can fail under resource exhaustion; the
+        // destructor will not run for a half-constructed object, so
+        // stop and join whatever already started before rethrowing —
+        // destroying a joinable std::thread would terminate().
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        batcherCv.notify_all();
+        workerCv.notify_all();
+        if (batcher.joinable())
+            batcher.join();
+        for (std::thread &t : pool)
+            t.join();
+        throw;
+    }
+}
+
+AsyncBatchServer::~AsyncBatchServer()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    batcherCv.notify_all();
+    workerCv.notify_all();
+    batcher.join();
+    for (std::thread &t : pool)
+        t.join();
+}
+
+AsyncBatchServer::ProgramHandle
+AsyncBatchServer::addProgram(CompiledProgram program, uint64_t operations)
+{
+    if (operations == 0)
+        operations = program.stats.numOperations;
+    std::lock_guard<std::mutex> lock(mutex);
+    programs.push_back(Resident{});
+    Resident &r = programs.back();
+    r.prog = std::move(program);
+    r.operations = operations;
+    r.numInputs = r.prog.inputLocation.size();
+    return static_cast<ProgramHandle>(programs.size() - 1);
+}
+
+AsyncBatchServer::ProgramHandle
+AsyncBatchServer::addProgram(const Dag &dag, const ArchConfig &cfg,
+                             const CompileOptions &options,
+                             ProgramCache *cache)
+{
+    // Compile outside the server lock: a cold compile can take
+    // seconds, and submits for already-resident programs must keep
+    // flowing underneath it.
+    CompiledProgram prog = cache ? cache->compile(dag, cfg, options)
+                                 : compile(dag, cfg, options);
+    return addProgram(std::move(prog));
+}
+
+std::future<SimResult>
+AsyncBatchServer::submit(ProgramHandle handle, std::vector<double> input)
+{
+    std::future<SimResult> fut;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (handle >= programs.size())
+            dpu_fatal("submit: unknown program handle " +
+                      std::to_string(handle));
+        Resident &r = programs[handle];
+        if (input.size() != r.numInputs)
+            dpu_fatal("submit: program expects " +
+                      std::to_string(r.numInputs) + " inputs, got " +
+                      std::to_string(input.size()));
+
+        Request rq;
+        rq.input = std::move(input);
+        rq.arrival = Clock::now();
+        fut = rq.promise.get_future();
+        r.pending.push_back(std::move(rq));
+        ++counters.requests;
+        ++outstanding;
+    }
+    batcherCv.notify_one();
+    return fut;
+}
+
+void
+AsyncBatchServer::drain()
+{
+    // A count, not a flag: concurrent drains must each keep the
+    // batcher flushing until the last one has seen the queue empty.
+    std::unique_lock<std::mutex> lock(mutex);
+    ++drainers;
+    batcherCv.notify_all();
+    idleCv.wait(lock, [this] { return outstanding == 0; });
+    --drainers;
+}
+
+AsyncBatchServer::Stats
+AsyncBatchServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+size_t
+AsyncBatchServer::numPrograms() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return programs.size();
+}
+
+void
+AsyncBatchServer::cutBatchLocked(Resident &r, uint64_t &reason)
+{
+    size_t n = std::min(r.pending.size(), config.maxBatch);
+    Batch b;
+    b.resident = &r;
+    b.requests.assign(std::make_move_iterator(r.pending.begin()),
+                      std::make_move_iterator(r.pending.begin() +
+                                              static_cast<ptrdiff_t>(n)));
+    r.pending.erase(r.pending.begin(),
+                    r.pending.begin() + static_cast<ptrdiff_t>(n));
+    ready.push_back(std::move(b));
+    ++counters.batches;
+    ++reason;
+    counters.maxBatchObserved =
+        std::max<uint64_t>(counters.maxBatchObserved, n);
+}
+
+void
+AsyncBatchServer::batcherMain()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        if (stopping)
+            return;
+
+        Clock::time_point now = Clock::now();
+        bool have_deadline = false;
+        Clock::time_point next_deadline{};
+        bool dispatched = false;
+        for (Resident &r : programs) {
+            if (r.pending.empty())
+                continue;
+            if (r.pending.size() >= config.maxBatch) {
+                cutBatchLocked(r, counters.sizeDispatches);
+                dispatched = true;
+            } else if (drainers > 0) {
+                cutBatchLocked(r, counters.drainDispatches);
+                dispatched = true;
+            } else {
+                Clock::time_point deadline =
+                    r.pending.front().arrival + config.batchWindow;
+                if (now >= deadline) {
+                    cutBatchLocked(r, counters.windowDispatches);
+                    dispatched = true;
+                } else if (!have_deadline || deadline < next_deadline) {
+                    next_deadline = deadline;
+                    have_deadline = true;
+                }
+            }
+        }
+        if (dispatched) {
+            workerCv.notify_all();
+            continue; // re-scan: a cut may have left a remainder
+        }
+        if (have_deadline)
+            batcherCv.wait_until(lock, next_deadline);
+        else
+            batcherCv.wait(lock);
+    }
+}
+
+void
+AsyncBatchServer::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        workerCv.wait(lock,
+                      [this] { return stopping || !ready.empty(); });
+        if (ready.empty()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        Batch batch = std::move(ready.front());
+        ready.pop_front();
+        const CompiledProgram &prog = batch.resident->prog;
+        uint64_t operations = batch.resident->operations;
+        lock.unlock();
+
+        std::vector<std::vector<double>> inputs;
+        inputs.reserve(batch.requests.size());
+        for (Request &rq : batch.requests)
+            inputs.push_back(std::move(rq.input));
+
+        BatchResult br;
+        std::exception_ptr error;
+        try {
+            br = BatchMachine(prog, config.cores, operations,
+                              config.hostThreadsPerBatch)
+                     .run(inputs);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        if (error) {
+            for (Request &rq : batch.requests)
+                rq.promise.set_exception(error);
+        } else {
+            for (size_t k = 0; k < batch.requests.size(); ++k)
+                batch.requests[k].promise.set_value(
+                    std::move(br.runs[k]));
+        }
+
+        lock.lock();
+        if (!error) {
+            counters.modeledWallCycles += br.wallCycles;
+            counters.totalOperations += br.totalOperations;
+        }
+        outstanding -= batch.requests.size();
+        if (outstanding == 0)
+            idleCv.notify_all();
+    }
+}
+
+} // namespace dpu

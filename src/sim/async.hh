@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Asynchronous batch-submission serving (paper §V-C2, the other half
+ * of the deployment story): the four DPU-v2 cores "can either perform
+ * batch execution (used for benchmarking) or execute different DAGs".
+ * BatchMachine covers the benchmarking half — one blocking call, one
+ * program, one pre-assembled batch. AsyncBatchServer covers serving:
+ * requests arrive one at a time (`submit(handle, input)` returns a
+ * std::future<SimResult>), are coalesced per resident program inside a
+ * configurable batching window up to a max batch size, and each ready
+ * batch is dispatched onto the existing BatchMachine/worker-pool
+ * machinery. Multiple programs can be resident at once (the "execute
+ * different DAGs" mode); a cold program can be registered through the
+ * compiler's ProgramCache so the first submit pays a cache fetch
+ * instead of a full compile when the artifact is already known.
+ *
+ * Determinism: a request's SimResult is produced by a private Machine
+ * running the resident program on that request's input — nothing about
+ * batch composition, arrival interleaving, window length, or host
+ * thread counts reaches the simulation. Per-request results are
+ * therefore byte-identical across arrival orders and server
+ * configurations (the serving analogue of the ParallelCompile
+ * byte-identical guarantee; enforced by tests/test_async.cc). Only the
+ * *latency* a caller observes and the aggregate batching statistics
+ * depend on timing.
+ */
+
+#ifndef DPU_SIM_ASYNC_HH
+#define DPU_SIM_ASYNC_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "compiler/cache.hh"
+#include "sim/batch.hh"
+
+namespace dpu {
+
+/** Serving-side knobs. Simulation results never depend on these. */
+struct AsyncServerConfig
+{
+    /** Model cores per dispatched batch (the paper's large system
+     *  deploys 4); feeds the modeled wall-cycle accounting. */
+    uint32_t cores = 4;
+
+    /** Dispatch a program's pending requests once this many have
+     *  coalesced, without waiting out the window. */
+    size_t maxBatch = 8;
+
+    /** How long the oldest pending request may wait for company
+     *  before its batch is dispatched anyway. Zero = dispatch every
+     *  request immediately (no coalescing). */
+    std::chrono::microseconds batchWindow{200};
+
+    /** Host worker threads executing ready batches; batches of
+     *  different (or the same) program run concurrently. */
+    uint32_t workers = 1;
+
+    /** Host threads *inside* one BatchMachine dispatch (its
+     *  byte-identical worker pool); 1 = sequential per batch. */
+    uint32_t hostThreadsPerBatch = 1;
+};
+
+/**
+ * A multi-program serving front-end over BatchMachine.
+ *
+ * Thread-safe: submit()/drain()/stats() may be called from any number
+ * of client threads. The destructor drains outstanding requests.
+ */
+class AsyncBatchServer
+{
+  public:
+    /** Opaque id of a resident program (index, stable for the
+     *  server's lifetime). */
+    using ProgramHandle = uint32_t;
+
+    explicit AsyncBatchServer(AsyncServerConfig config = {});
+    ~AsyncBatchServer();
+
+    AsyncBatchServer(const AsyncBatchServer &) = delete;
+    AsyncBatchServer &operator=(const AsyncBatchServer &) = delete;
+
+    /**
+     * Make a compiled program resident and eligible for submit().
+     * @param operations Operations per execution for the throughput
+     *        accounting; 0 = take program.stats.numOperations.
+     */
+    ProgramHandle addProgram(CompiledProgram program,
+                             uint64_t operations = 0);
+
+    /**
+     * Compile-and-load: the cold-submit path. Goes through `cache`
+     * when one is given (a warm cache turns the load into a fetch),
+     * otherwise runs the real compiler.
+     */
+    ProgramHandle addProgram(const Dag &dag, const ArchConfig &cfg,
+                             const CompileOptions &options = {},
+                             ProgramCache *cache = nullptr);
+
+    /**
+     * Submit one request. The future becomes ready when the request's
+     * batch has executed; it carries the same SimResult a standalone
+     * Machine(prog).run(input) would produce.
+     *
+     * Throws FatalError on an unknown handle or an input-size
+     * mismatch (before enqueueing anything).
+     */
+    std::future<SimResult> submit(ProgramHandle handle,
+                                  std::vector<double> input);
+
+    /** Flush every pending batch (ignoring the window) and block
+     *  until all submitted requests have completed. */
+    void drain();
+
+    /** Aggregate serving counters since construction. */
+    struct Stats
+    {
+        uint64_t requests = 0;         ///< Submitted.
+        uint64_t batches = 0;          ///< Dispatched.
+        uint64_t maxBatchObserved = 0; ///< Largest dispatched batch.
+        uint64_t sizeDispatches = 0;   ///< Batches cut by maxBatch.
+        uint64_t windowDispatches = 0; ///< Batches cut by the window.
+        uint64_t drainDispatches = 0;  ///< Batches cut by drain().
+        uint64_t modeledWallCycles = 0; ///< Summed over batches.
+        uint64_t totalOperations = 0;   ///< Summed over batches.
+
+        /** Mean dispatched batch size (after a drain, every submitted
+         *  request has been dispatched). */
+        double
+        meanBatch() const
+        {
+            return batches ? static_cast<double>(requests) /
+                                 static_cast<double>(batches)
+                           : 0.0;
+        }
+    };
+    Stats stats() const;
+
+    /** Number of resident programs. */
+    size_t numPrograms() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request
+    {
+        std::vector<double> input;
+        std::promise<SimResult> promise;
+        Clock::time_point arrival;
+    };
+
+    /** One resident program and its coalescing queue. Requests are
+     *  appended in arrival order, so front() is always oldest. */
+    struct Resident
+    {
+        CompiledProgram prog;
+        uint64_t operations = 0;
+        size_t numInputs = 0;
+        std::vector<Request> pending;
+    };
+
+    /** A cut batch on its way to a worker. */
+    struct Batch
+    {
+        Resident *resident = nullptr;
+        std::vector<Request> requests;
+    };
+
+    void batcherMain();
+    void workerMain();
+
+    /** Move up to maxBatch requests of `r` onto the ready queue;
+     *  `reason` is the dispatch counter to bump. Lock held. */
+    void cutBatchLocked(Resident &r, uint64_t &reason);
+
+    AsyncServerConfig config;
+
+    mutable std::mutex mutex;
+    std::condition_variable batcherCv; ///< submit/drain -> batcher.
+    std::condition_variable workerCv;  ///< batcher -> workers.
+    std::condition_variable idleCv;    ///< workers -> drain().
+
+    /** Resident programs; deque keeps addresses stable while growing. */
+    std::deque<Resident> programs;
+
+    std::deque<Batch> ready;
+    uint64_t outstanding = 0; ///< Submitted but not yet completed.
+    uint32_t drainers = 0;    ///< drain() calls in progress.
+    bool stopping = false;    ///< Destructor: threads exit when idle.
+    Stats counters;
+
+    std::thread batcher;
+    std::vector<std::thread> pool;
+};
+
+} // namespace dpu
+
+#endif // DPU_SIM_ASYNC_HH

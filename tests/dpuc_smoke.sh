@@ -58,6 +58,14 @@ check 1 "two input files" "$DPUC" "$TMP/tiny.dag" "$TMP/tiny.dag"
 printf 'not a dag\n' > "$TMP/bad.dag"
 check 1 "malformed dag" "$DPUC" "$TMP/bad.dag"
 
+# Invalid option values (exit 2): atoi used to turn these into 0 and
+# silently clamp or misconfigure.
+check 2 "--threads=0" "$DPUC" "$TMP/tiny.dag" --threads=0
+check 2 "--threads non-numeric" "$DPUC" "$TMP/tiny.dag" --threads=abc
+check 2 "--threads trailing junk" "$DPUC" "$TMP/tiny.dag" --threads=4x
+check 2 "--depth non-numeric" "$DPUC" "$TMP/tiny.dag" --depth=deep
+check 2 "--seed negative" "$DPUC" "$TMP/tiny.dag" --seed=-1
+
 if [ "$fails" -ne 0 ]; then
     echo "dpuc_smoke: $fails check(s) failed"
     exit 1

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the async batch-submission server: per-request results
+ * must be byte-identical to a standalone Machine run regardless of
+ * arrival order, batching window, max-batch size, or worker thread
+ * counts (the serving analogue of the ParallelCompile byte-identical
+ * guarantee), across multiple resident programs, with the cold-submit
+ * compile path going through the program cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <numeric>
+#include <random>
+
+#include "compiler/compiler.hh"
+#include "sim/async.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workloads/pc_generator.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+smallConfig()
+{
+    ArchConfig c;
+    c.depth = 2;
+    c.banks = 8;
+    c.regsPerBank = 32;
+    return c;
+}
+
+std::vector<std::vector<double>>
+makeInputs(const Dag &d, size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> inputs;
+    for (size_t k = 0; k < count; ++k) {
+        std::vector<double> in(d.numInputs());
+        for (auto &x : in)
+            x = 0.5 + rng.uniform();
+        inputs.push_back(std::move(in));
+    }
+    return inputs;
+}
+
+/** Byte-identical SimResult comparison (same bits, same counters). */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (size_t i = 0; i < a.outputs.size(); ++i)
+        EXPECT_EQ(a.outputs[i], b.outputs[i]) << "output " << i;
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.kindCount, b.stats.kindCount);
+    EXPECT_EQ(a.stats.bankReads, b.stats.bankReads);
+    EXPECT_EQ(a.stats.bankWrites, b.stats.bankWrites);
+    EXPECT_EQ(a.stats.peOperations, b.stats.peOperations);
+    EXPECT_EQ(a.stats.pePassThroughs, b.stats.pePassThroughs);
+    EXPECT_EQ(a.stats.crossbarTransfers, b.stats.crossbarTransfers);
+    EXPECT_EQ(a.stats.memReads, b.stats.memReads);
+    EXPECT_EQ(a.stats.memWrites, b.stats.memWrites);
+    EXPECT_EQ(a.stats.instrBitsFetched, b.stats.instrBitsFetched);
+    EXPECT_EQ(a.stats.peakLiveRegisters, b.stats.peakLiveRegisters);
+}
+
+TEST(AsyncServer, ResultsMatchStandaloneMachine)
+{
+    Dag d = generateRandomDag(12, 300, 51);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 9, 52);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.batchWindow = std::chrono::microseconds(100);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    std::vector<std::future<SimResult>> futures;
+    for (const auto &in : inputs)
+        futures.push_back(server.submit(h, in));
+    for (size_t k = 0; k < inputs.size(); ++k)
+        expectIdentical(futures[k].get(), Machine(prog).run(inputs[k]));
+
+    auto s = server.stats();
+    EXPECT_EQ(s.requests, inputs.size());
+    EXPECT_GE(s.batches, 1u);
+    EXPECT_LE(s.maxBatchObserved, cfg.maxBatch);
+    EXPECT_EQ(s.sizeDispatches + s.windowDispatches + s.drainDispatches,
+              s.batches);
+}
+
+TEST(AsyncServer, DeterministicAcrossArrivalOrdersAndConfigs)
+{
+    Dag d = generateRandomDag(16, 500, 53);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 12, 54);
+
+    // Reference: what each request must yield, independent of the
+    // serving side.
+    std::vector<SimResult> reference;
+    for (const auto &in : inputs)
+        reference.push_back(Machine(prog).run(in));
+
+    struct Shape
+    {
+        size_t maxBatch;
+        std::chrono::microseconds window;
+        uint32_t workers;
+        uint32_t perBatch;
+    };
+    const Shape shapes[] = {
+        {1, std::chrono::microseconds(0), 1, 1},   // no coalescing
+        {3, std::chrono::microseconds(50), 2, 1},  // tiny window
+        {16, std::chrono::microseconds(5000), 4, 4}, // big batches
+    };
+
+    std::mt19937 gen(55);
+    for (const Shape &shape : shapes) {
+        for (int round = 0; round < 3; ++round) {
+            std::vector<size_t> order(inputs.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::shuffle(order.begin(), order.end(), gen);
+
+            AsyncServerConfig cfg;
+            cfg.maxBatch = shape.maxBatch;
+            cfg.batchWindow = shape.window;
+            cfg.workers = shape.workers;
+            cfg.hostThreadsPerBatch = shape.perBatch;
+            AsyncBatchServer server(cfg);
+            auto h = server.addProgram(prog);
+
+            std::vector<std::future<SimResult>> futures(inputs.size());
+            for (size_t k : order)
+                futures[k] = server.submit(h, inputs[k]);
+            server.drain();
+            for (size_t k = 0; k < inputs.size(); ++k)
+                expectIdentical(futures[k].get(), reference[k]);
+        }
+    }
+}
+
+TEST(AsyncServer, MultipleResidentPrograms)
+{
+    // The paper's "execute different DAGs" mode: interleave requests
+    // for two different programs; each result must match its own
+    // program's standalone run.
+    Dag d1 = generateRandomDag(12, 250, 56);
+    Dag d2 = generateRandomDag(10, 400, 57);
+    auto p1 = compile(d1, smallConfig());
+    auto p2 = compile(d2, smallConfig());
+    auto in1 = makeInputs(d1, 6, 58);
+    auto in2 = makeInputs(d2, 6, 59);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.batchWindow = std::chrono::microseconds(200);
+    cfg.workers = 2;
+    AsyncBatchServer server(cfg);
+    auto h1 = server.addProgram(p1);
+    auto h2 = server.addProgram(p2);
+    EXPECT_EQ(server.numPrograms(), 2u);
+
+    std::vector<std::future<SimResult>> f1, f2;
+    for (size_t k = 0; k < 6; ++k) {
+        f1.push_back(server.submit(h1, in1[k]));
+        f2.push_back(server.submit(h2, in2[k]));
+    }
+    server.drain();
+    for (size_t k = 0; k < 6; ++k) {
+        expectIdentical(f1[k].get(), Machine(p1).run(in1[k]));
+        expectIdentical(f2[k].get(), Machine(p2).run(in2[k]));
+    }
+    EXPECT_EQ(server.stats().requests, 12u);
+}
+
+TEST(AsyncServer, ColdSubmitCompilesThroughCache)
+{
+    Dag d = generateRandomDag(12, 300, 60);
+    ArchConfig cfg = smallConfig();
+    ProgramCache cache;
+    auto inputs = makeInputs(d, 3, 61);
+
+    SimResult first_result;
+    {
+        AsyncBatchServer server;
+        auto h = server.addProgram(d, cfg, {}, &cache);
+        first_result = server.submit(h, inputs[0]).get();
+    }
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    // A second server loading the same DAG hits the cache — and the
+    // cached program serves byte-identical results.
+    {
+        AsyncBatchServer server;
+        auto h = server.addProgram(d, cfg, {}, &cache);
+        expectIdentical(server.submit(h, inputs[0]).get(),
+                        first_result);
+    }
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(AsyncServer, DrainFlushesAnOpenWindow)
+{
+    Dag d = generateRandomDag(10, 200, 62);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 2, 63);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.batchWindow = std::chrono::seconds(30); // would stall a sweep
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    auto f0 = server.submit(h, inputs[0]);
+    auto f1 = server.submit(h, inputs[1]);
+    server.drain(); // must not wait out the 30s window
+    expectIdentical(f0.get(), Machine(prog).run(inputs[0]));
+    expectIdentical(f1.get(), Machine(prog).run(inputs[1]));
+
+    auto s = server.stats();
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.drainDispatches, 1u);
+    EXPECT_EQ(s.maxBatchObserved, 2u);
+    EXPECT_DOUBLE_EQ(s.meanBatch(), 2.0);
+}
+
+TEST(AsyncServer, FullBatchDispatchesWithoutDrain)
+{
+    Dag d = generateRandomDag(10, 200, 64);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 4, 65);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.batchWindow = std::chrono::seconds(30);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    std::vector<std::future<SimResult>> futures;
+    for (const auto &in : inputs)
+        futures.push_back(server.submit(h, in));
+    // The fourth submit fills the batch; the futures complete without
+    // any drain() and long before the 30s window.
+    for (auto &f : futures)
+        f.get();
+    EXPECT_GE(server.stats().sizeDispatches, 1u);
+}
+
+TEST(AsyncServer, SubmitValidatesHandleAndInputSize)
+{
+    Dag d = generateRandomDag(10, 200, 66);
+    auto prog = compile(d, smallConfig());
+
+    AsyncBatchServer server;
+    auto h = server.addProgram(prog);
+    EXPECT_THROW(server.submit(h + 1, std::vector<double>(d.numInputs())),
+                 FatalError);
+    EXPECT_THROW(server.submit(h, std::vector<double>(d.numInputs() + 1)),
+                 FatalError);
+    // Valid submits still work after the rejected ones.
+    auto in = makeInputs(d, 1, 67)[0];
+    expectIdentical(server.submit(h, in).get(), Machine(prog).run(in));
+}
+
+TEST(AsyncServer, ModeledCyclesAccumulate)
+{
+    Dag d = generateRandomDag(10, 200, 68);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 8, 69);
+
+    AsyncServerConfig cfg;
+    cfg.cores = 4;
+    cfg.maxBatch = 8;
+    // Window long enough that the only dispatch triggers are a full
+    // batch or the drain — the test needs exactly one batch of 8.
+    cfg.batchWindow = std::chrono::seconds(5);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+    for (const auto &in : inputs)
+        server.submit(h, in);
+    server.drain();
+
+    auto s = server.stats();
+    // One batch of 8 on 4 model cores: wall = 2 runs back-to-back.
+    EXPECT_EQ(s.modeledWallCycles, 2 * prog.stats.cycles);
+    EXPECT_EQ(s.totalOperations, 8 * prog.stats.numOperations);
+}
+
+} // namespace
+} // namespace dpu

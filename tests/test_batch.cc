@@ -126,6 +126,52 @@ TEST(BatchMachine, MoreThreadsThanInputs)
     expectIdenticalResults(seq.run(batch), par.run(batch));
 }
 
+TEST(BatchMachine, MoreCoresThanInputs)
+{
+    // Idle-core accounting: with cores > batch size, the extra cores
+    // contribute zero cycles and must not distort the wall clock
+    // (lockstep wall = busiest core = exactly one run) or the
+    // operation count (only executed runs count).
+    Dag d = generateRandomDag(8, 150, 49);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 3, 50);
+
+    BatchMachine bm(prog, 8, prog.stats.numOperations);
+    auto r = bm.run(batch);
+    ASSERT_EQ(r.runs.size(), 3u);
+    EXPECT_EQ(r.wallCycles, prog.stats.cycles);
+    EXPECT_EQ(r.totalOperations, 3 * prog.stats.numOperations);
+    EXPECT_GT(r.throughputGops(300e6), 0.0);
+}
+
+TEST(BatchMachine, MoreCoresThanInputsThreaded)
+{
+    // Same accounting when the host worker pool is wider than both
+    // the batch and the model core count.
+    Dag d = generateRandomDag(8, 150, 51);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 2, 52);
+
+    BatchMachine seq(prog, 16, prog.stats.numOperations, 1);
+    BatchMachine par(prog, 16, prog.stats.numOperations, 8);
+    auto rs = seq.run(batch);
+    auto rp = par.run(batch);
+    EXPECT_EQ(rs.wallCycles, prog.stats.cycles);
+    expectIdenticalResults(rs, rp);
+}
+
+TEST(BatchMachine, SingleInputManyCores)
+{
+    Dag d = generateRandomDag(8, 150, 53);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 1, 54);
+
+    BatchMachine bm(prog, 4, prog.stats.numOperations);
+    auto r = bm.run(batch);
+    EXPECT_EQ(r.wallCycles, prog.stats.cycles);
+    EXPECT_EQ(r.totalOperations, prog.stats.numOperations);
+}
+
 TEST(BatchMachine, ThreadCountDoesNotChangeModelClock)
 {
     // The host worker pool must not leak into the modeled machine:

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "arch/isa.hh"
 #include "compiler/cache.hh"
@@ -219,6 +220,50 @@ TEST(ProgramCache, SerializationRoundTrip)
     auto truncated = image;
     truncated.resize(truncated.size() / 2);
     EXPECT_FALSE(deserializeProgram(truncated, junk));
+}
+
+TEST(ProgramCache, UnwritableDiskDirFallsBackToMemory)
+{
+    // A diskDir that cannot exist (a path component is a regular
+    // file) must degrade to in-memory-only caching with a warning,
+    // not abort the sweep. This stands in for a read-only FS, which
+    // cannot be faked with permission bits when running as root.
+    ScratchDir dir("progcache_test_unwritable");
+    std::filesystem::path blocker = dir.path / "file";
+    { std::ofstream(blocker) << "not a directory"; }
+
+    ProgramCacheConfig cc;
+    cc.diskDir = (blocker / "sub").string();
+    ProgramCache cache(cc);
+    EXPECT_FALSE(cache.diskEnabled());
+
+    Dag d = generateRandomDag(16, 400, 84);
+    ArchConfig cfg = cfgOf(2, 8, 32);
+    auto first = cache.compile(d, cfg);
+    EXPECT_EQ(first.stats.cacheHits, 0u);
+    auto second = cache.compile(d, cfg); // memory LRU still works
+    EXPECT_EQ(second.stats.cacheHits, 1u);
+    expectSamePrograms(first, second);
+
+    auto s = cache.stats();
+    EXPECT_EQ(s.diskWrites, 0u);
+    EXPECT_EQ(s.diskHits, 0u);
+}
+
+TEST(ProgramCache, EnsureWritableDirectoryProbes)
+{
+    ScratchDir dir("progcache_test_probe");
+    // Creates missing components recursively and leaves no probe file.
+    std::filesystem::path fresh = dir.path / "a" / "b";
+    EXPECT_TRUE(ensureWritableDirectory(fresh.string()));
+    EXPECT_TRUE(std::filesystem::is_directory(fresh));
+    EXPECT_TRUE(std::filesystem::is_empty(fresh));
+    // Idempotent on an existing directory.
+    EXPECT_TRUE(ensureWritableDirectory(fresh.string()));
+
+    std::filesystem::path blocker = dir.path / "file";
+    { std::ofstream(blocker) << "x"; }
+    EXPECT_FALSE(ensureWritableDirectory((blocker / "sub").string()));
 }
 
 TEST(ProgramCache, StructuralHashSeparatesDags)

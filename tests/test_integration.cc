@@ -94,9 +94,15 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(16u, 32u),
         ::testing::Values(OutputInterconnect::PerLayerSubtree)),
     [](const ::testing::TestParamInfo<ConfigParam> &info) {
-        return "D" + std::to_string(std::get<0>(info.param)) + "_B" +
-               std::to_string(std::get<1>(info.param)) + "_R" +
-               std::to_string(std::get<2>(info.param));
+        // Built with += (not literal + string&&): that form trips
+        // GCC 12's bogus -Wrestrict diagnostic (GCC PR 105329).
+        std::string s = "D";
+        s += std::to_string(std::get<0>(info.param));
+        s += "_B";
+        s += std::to_string(std::get<1>(info.param));
+        s += "_R";
+        s += std::to_string(std::get<2>(info.param));
+        return s;
     });
 
 INSTANTIATE_TEST_SUITE_P(
@@ -110,9 +116,12 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ConfigParam> &info) {
         bool xbar =
             std::get<3>(info.param) == OutputInterconnect::Crossbar;
-        return std::string(xbar ? "xbar" : "oneperpe") + "_D" +
-               std::to_string(std::get<0>(info.param)) + "_B" +
-               std::to_string(std::get<1>(info.param));
+        std::string s = xbar ? "xbar" : "oneperpe";
+        s += "_D";
+        s += std::to_string(std::get<0>(info.param));
+        s += "_B";
+        s += std::to_string(std::get<1>(info.param));
+        return s;
     });
 
 TEST(EndToEndSeeds, ManyRandomDagsOnMinEdp)

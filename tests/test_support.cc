@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for src/support: logging, rng, bitvec, stats, table.
+ * Unit tests for src/support: logging, rng, bitvec, stats, table,
+ * and the strict CLI value parsers.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <sstream>
 
 #include "support/bitvec.hh"
+#include "support/cli.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -211,6 +213,59 @@ TEST(Table, CsvOutput)
     std::ostringstream os;
     t.printCsv(os);
     EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Cli, ParseUint32AcceptsPlainDecimals)
+{
+    uint32_t v = 99;
+    EXPECT_TRUE(parseUint32Arg("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUint32Arg("8", v));
+    EXPECT_EQ(v, 8u);
+    EXPECT_TRUE(parseUint32Arg("4294967295", v));
+    EXPECT_EQ(v, 4294967295u);
+}
+
+TEST(Cli, ParseUint32RejectsGarbage)
+{
+    uint32_t v = 7;
+    // The atoi failure modes this parser exists to catch.
+    EXPECT_FALSE(parseUint32Arg("abc", v));
+    EXPECT_FALSE(parseUint32Arg("", v));
+    EXPECT_FALSE(parseUint32Arg("4x", v));
+    EXPECT_FALSE(parseUint32Arg("-1", v));
+    EXPECT_FALSE(parseUint32Arg(" 4", v));
+    EXPECT_FALSE(parseUint32Arg("+4", v));
+    EXPECT_FALSE(parseUint32Arg("4294967296", v)); // 2^32
+    EXPECT_FALSE(parseUint32Arg(nullptr, v));
+    EXPECT_EQ(v, 7u); // untouched on failure
+}
+
+TEST(Cli, ParseUint64CoversTheFullRange)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseUint64Arg("18446744073709551615", v));
+    EXPECT_EQ(v, 18446744073709551615ull);
+    EXPECT_FALSE(parseUint64Arg("18446744073709551616", v));
+    EXPECT_FALSE(parseUint64Arg("1e3", v));
+}
+
+TEST(Cli, ParseDoubleAcceptsNumbersRejectsJunk)
+{
+    double v = -1;
+    EXPECT_TRUE(parseDoubleArg("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseDoubleArg("1e-3", v));
+    EXPECT_DOUBLE_EQ(v, 1e-3);
+    EXPECT_TRUE(parseDoubleArg("-2", v));
+    EXPECT_DOUBLE_EQ(v, -2.0);
+    EXPECT_FALSE(parseDoubleArg("x", v));
+    EXPECT_FALSE(parseDoubleArg("", v));
+    EXPECT_FALSE(parseDoubleArg("0.5junk", v));
+    EXPECT_FALSE(parseDoubleArg("nan", v));
+    EXPECT_FALSE(parseDoubleArg("inf", v));
+    EXPECT_FALSE(parseDoubleArg(" 1", v));
+    EXPECT_FALSE(parseDoubleArg(nullptr, v));
 }
 
 } // namespace

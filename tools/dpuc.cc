@@ -16,10 +16,12 @@
  *     --window=N --partition=N --seed=N   compiler knobs
  *     --threads=N                    partition-parallel compile
  *                                    workers (byte-identical output
- *                                    for every N)
+ *                                    for every N; N >= 1)
  *
  * Exit code 0 on success, 1 on user error (per gem5's fatal()
- * convention), 2 on internal error.
+ * convention), 2 on an invalid option value (non-numeric or
+ * out-of-range, e.g. --threads=0 or --threads=abc) or an internal
+ * error.
  */
 
 #include <cstdio>
@@ -32,6 +34,7 @@
 #include "dag/io.hh"
 #include "dag/optimize.hh"
 #include "sim/machine.hh"
+#include "support/cli.hh"
 #include "support/rng.hh"
 
 using namespace dpu;
@@ -50,20 +53,40 @@ struct Args
     CompileOptions opts;
 };
 
-bool
+/** Parse the command line; 0 = ok, 1 = usage error, 2 = invalid
+ *  option value (the documented exit codes). */
+int
 parseArgs(int argc, char **argv, Args &args)
 {
-    auto intval = [](const char *s) {
-        return static_cast<uint32_t>(std::atoi(s));
+    // Every numeric flag is validated strictly: std::atoi would turn
+    // "--threads=abc" into 0 and silently clamp or misconfigure.
+    int bad_value = 0;
+    auto u32 = [&](const char *flag, const char *s, uint32_t &out) {
+        if (!parseUint32Arg(s, out)) {
+            std::fprintf(stderr,
+                         "dpuc: invalid value '%s' for %s "
+                         "(expected an unsigned integer)\n",
+                         s, flag);
+            bad_value = 2;
+        }
+    };
+    auto u64 = [&](const char *flag, const char *s, uint64_t &out) {
+        if (!parseUint64Arg(s, out)) {
+            std::fprintf(stderr,
+                         "dpuc: invalid value '%s' for %s "
+                         "(expected an unsigned integer)\n",
+                         s, flag);
+            bad_value = 2;
+        }
     };
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--depth=", 8) == 0)
-            args.cfg.depth = intval(a + 8);
+            u32("--depth", a + 8, args.cfg.depth);
         else if (std::strncmp(a, "--banks=", 8) == 0)
-            args.cfg.banks = intval(a + 8);
+            u32("--banks", a + 8, args.cfg.banks);
         else if (std::strncmp(a, "--regs=", 7) == 0)
-            args.cfg.regsPerBank = intval(a + 7);
+            u32("--regs", a + 7, args.cfg.regsPerBank);
         else if (std::strncmp(a, "--out=", 6) == 0)
             args.outPath = a + 6;
         else if (std::strncmp(a, "--dot=", 6) == 0)
@@ -75,33 +98,41 @@ parseArgs(int argc, char **argv, Args &args)
         else if (std::strcmp(a, "--simulate") == 0)
             args.simulate = true;
         else if (std::strncmp(a, "--window=", 9) == 0)
-            args.opts.reorderWindow = intval(a + 9);
+            u32("--window", a + 9, args.opts.reorderWindow);
         else if (std::strncmp(a, "--partition=", 12) == 0)
-            args.opts.partitionNodes = intval(a + 12);
+            u32("--partition", a + 12, args.opts.partitionNodes);
         else if (std::strncmp(a, "--seed=", 7) == 0)
-            args.opts.seed = intval(a + 7);
+            u64("--seed", a + 7, args.opts.seed);
         else if (std::strncmp(a, "--threads=", 10) == 0) {
-            uint32_t n = intval(a + 10);
-            args.opts.threads = n < 1 ? 1 : n;
+            u32("--threads", a + 10, args.opts.threads);
+            if (!bad_value && args.opts.threads < 1) {
+                std::fprintf(stderr,
+                             "dpuc: invalid value '%s' for --threads "
+                             "(must be >= 1)\n",
+                             a + 10);
+                bad_value = 2;
+            }
         } else if (a[0] == '-') {
             std::fprintf(stderr, "dpuc: unknown option '%s'\n", a);
-            return false;
+            return 1;
         } else if (args.dagPath.empty())
             args.dagPath = a;
         else {
             std::fprintf(stderr, "dpuc: more than one input file\n");
-            return false;
+            return 1;
         }
     }
+    if (bad_value)
+        return bad_value;
     if (args.dagPath.empty()) {
         std::fprintf(stderr,
                      "usage: dpuc <dag-file> [--depth=N --banks=N "
                      "--regs=N --out=F --disasm --dot=F --optimize "
                      "--simulate --window=N --partition=N --seed=N "
                      "--threads=N]\n");
-        return false;
+        return 1;
     }
-    return true;
+    return 0;
 }
 
 } // namespace
@@ -110,8 +141,8 @@ int
 main(int argc, char **argv)
 {
     Args args;
-    if (!parseArgs(argc, argv, args))
-        return 1;
+    if (int rc = parseArgs(argc, argv, args))
+        return rc;
     try {
         Dag dag = readDagFile(args.dagPath);
         std::printf("dpuc: %zu nodes (%zu operations, %zu inputs)\n",

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "support/cli.hh"
 #include "support/table.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -77,8 +78,14 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args)
         else if (std::strcmp(a, "--list") == 0)
             args.list = true;
         else if (std::strncmp(a, "--threads=", 10) == 0) {
-            int n = std::atoi(a + 10);
-            args.threads = n < 1 ? 1 : static_cast<uint32_t>(n);
+            if (!parseUint32Arg(a + 10, args.threads) ||
+                args.threads < 1) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--threads (expected an integer >= 1)\n",
+                             a + 10);
+                return false;
+            }
         } else if (std::strncmp(a, "--only=", 7) == 0)
             args.only = a + 7;
         else if (std::strncmp(a, "--outdir=", 9) == 0)
@@ -171,6 +178,18 @@ main(int argc, char **argv)
         args.noCache ? std::string()
                      : (args.cacheDir.empty() ? args.outdir + "/progcache"
                                               : args.cacheDir);
+    // Probe the shared spill directory once up front: on a read-only
+    // FS (or a --cache-dir typo) the sweep must keep going with
+    // per-bench in-memory caches instead of every bench failing or
+    // warning on its own.
+    if (!cache_dir.empty() &&
+        !ensureWritableDirectory(cache_dir)) {
+        std::fprintf(stderr,
+                     "run_benches: cache dir '%s' is not writable; "
+                     "continuing with per-bench in-memory caches\n",
+                     cache_dir.c_str());
+        cache_dir.clear();
+    }
 
     // Runs one bench command and validates its JSON report with
     // `validate`; returns the summary status string.
@@ -219,7 +238,7 @@ main(int argc, char **argv)
             cmd += " --threads=" + std::to_string(args.threads);
         if (args.noCache)
             cmd += " --no-cache"; // also disables in-process caches
-        else
+        else if (!cache_dir.empty()) // empty: unwritable, in-memory
             cmd += " --cache-dir=" + shellQuote(cache_dir);
         cmd += " --json=" + shellQuote(report);
 
