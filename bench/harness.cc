@@ -202,6 +202,13 @@ Context::note(const std::string &key, const std::string &value)
     notes.emplace_back(key, value);
 }
 
+void
+Context::series(const std::string &name,
+                const std::vector<double> &values)
+{
+    seriesData.emplace_back(name, values);
+}
+
 namespace {
 
 /** JSON string escaping (control chars, quotes, backslash). */
@@ -278,6 +285,19 @@ Context::finish()
         os << (i ? ", " : "") << "\"" << jsonEscape(notes[i].first)
            << "\": \"" << jsonEscape(notes[i].second) << "\"";
     os << "},\n";
+
+    // Typed numeric series: always present (run_benches requires the
+    // key), values as real JSON numbers rather than table strings.
+    os << "  \"series\": {";
+    for (size_t i = 0; i < seriesData.size(); ++i) {
+        os << (i ? "," : "") << "\n    \""
+           << jsonEscape(seriesData[i].first) << "\": [";
+        const std::vector<double> &vals = seriesData[i].second;
+        for (size_t v = 0; v < vals.size(); ++v)
+            os << (v ? ", " : "") << jsonNumber(vals[v]);
+        os << "]";
+    }
+    os << (seriesData.empty() ? "" : "\n  ") << "},\n";
 
     os << "  \"tables\": [";
     for (size_t t = 0; t < tables.size(); ++t) {
@@ -549,6 +569,69 @@ validJsonFile(const std::string &path, std::string *error)
     std::ostringstream buf;
     buf << in.rdbuf();
     return validJson(buf.str(), error);
+}
+
+bool
+jsonTopLevelKey(const std::string &text, const std::string &key)
+{
+    size_t i = 0;
+    const size_t n = text.size();
+    auto is_ws = [](char c) {
+        return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+    };
+    while (i < n && is_ws(text[i]))
+        ++i;
+    if (i >= n || text[i] != '{')
+        return false;
+    ++i;
+
+    int depth = 1;
+    bool expecting_key = true; ///< At depth 1: next string is a key.
+    while (i < n && depth > 0) {
+        char c = text[i];
+        if (is_ws(c)) {
+            ++i;
+            continue;
+        }
+        if (c == '"') {
+            std::string s;
+            ++i;
+            while (i < n && text[i] != '"') {
+                if (text[i] == '\\' && i + 1 < n)
+                    ++i; // keep the escaped char, drop the backslash
+                s += text[i];
+                ++i;
+            }
+            if (i >= n)
+                return false; // unterminated string
+            ++i;              // closing quote
+            if (depth == 1 && expecting_key) {
+                size_t j = i;
+                while (j < n && is_ws(text[j]))
+                    ++j;
+                if (j < n && text[j] == ':' && s == key)
+                    return true;
+            }
+            continue;
+        }
+        switch (c) {
+        case '{':
+        case '[': ++depth; break;
+        case '}':
+        case ']': --depth; break;
+        case ':':
+            if (depth == 1)
+                expecting_key = false;
+            break;
+        case ',':
+            if (depth == 1)
+                expecting_key = true;
+            break;
+        default: break;
+        }
+        ++i;
+    }
+    return false;
 }
 
 } // namespace bench

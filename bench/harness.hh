@@ -146,6 +146,18 @@ class Context
     /** Record one headline number for the perf trajectory. */
     void metric(const std::string &key, double value);
 
+    /**
+     * Record a typed numeric series (name -> vector of numbers) for
+     * the JSON report. Unlike table(), which carries formatted
+     * strings, series land as real JSON number arrays under a
+     * top-level "series" object — the machine-readable form trend
+     * tooling consumes (e.g. serve_latency's per-class latency
+     * percentiles). The "series" object is always emitted, possibly
+     * empty, so tools/run_benches can require its presence.
+     */
+    void series(const std::string &name,
+                const std::vector<double> &values);
+
     /** Record a free-form string annotation. */
     void note(const std::string &key, const std::string &value);
 
@@ -170,6 +182,7 @@ class Context
     std::vector<NamedTable> tables;
     std::vector<std::pair<std::string, double>> metrics;
     std::vector<std::pair<std::string, std::string>> notes;
+    std::vector<std::pair<std::string, std::vector<double>>> seriesData;
 };
 
 // ---------------------------------------------------------------- //
@@ -209,6 +222,15 @@ bool validJson(const std::string &text, std::string *error = nullptr);
 /** validJson() over a file's contents; false when unreadable. */
 bool validJsonFile(const std::string &path,
                    std::string *error = nullptr);
+
+/**
+ * True when `text` is a JSON object carrying `key` at its top level.
+ * Structure-aware (string/escape/nesting state), so the key name
+ * appearing inside a nested object or a string *value* does not
+ * count — the check tools/run_benches uses to require the "series"
+ * object in every harness report.
+ */
+bool jsonTopLevelKey(const std::string &text, const std::string &key);
 
 } // namespace bench
 } // namespace dpu

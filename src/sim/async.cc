@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <limits>
 #include <string>
 
 #include "support/logging.hh"
@@ -18,6 +19,8 @@ AsyncBatchServer::AsyncBatchServer(AsyncServerConfig config_)
         config.workers = 1;
     if (config.hostThreadsPerBatch < 1)
         config.hostThreadsPerBatch = 1;
+    coreReservedBy.assign(config.cores, -1);
+    coreBusy.assign(config.cores, false);
 
     try {
         batcher = std::thread([this] { batcherMain(); });
@@ -60,34 +63,95 @@ AsyncBatchServer::~AsyncBatchServer()
 AsyncBatchServer::ProgramHandle
 AsyncBatchServer::addProgram(CompiledProgram program, uint64_t operations)
 {
+    return addProgram(std::move(program), QosSpec{}, operations);
+}
+
+AsyncBatchServer::ProgramHandle
+AsyncBatchServer::addProgram(CompiledProgram program, QosSpec qos,
+                             uint64_t operations)
+{
     if (operations == 0)
         operations = program.stats.numOperations;
+
     std::lock_guard<std::mutex> lock(mutex);
+    if (qos.minCores > config.cores)
+        dpu_fatal("addProgram: QosSpec::minCores " +
+                  std::to_string(qos.minCores) + " exceeds the " +
+                  std::to_string(config.cores) + " modeled cores");
+    if (qos.maxCores != 0 && qos.maxCores < qos.minCores)
+        dpu_fatal("addProgram: QosSpec::maxCores " +
+                  std::to_string(qos.maxCores) + " below minCores " +
+                  std::to_string(qos.minCores));
+    if (reservedCores + qos.minCores > config.cores)
+        dpu_fatal("addProgram: core reservations exhausted (" +
+                  std::to_string(reservedCores) + " of " +
+                  std::to_string(config.cores) +
+                  " already reserved, requested " +
+                  std::to_string(qos.minCores) + " more)");
+    uint32_t shared_after = config.cores - reservedCores - qos.minCores;
+    if (shared_after == 0) {
+        bool unreserved_resident = qos.minCores == 0;
+        for (const Resident &r : programs)
+            unreserved_resident |= r.qos.minCores == 0;
+        if (unreserved_resident)
+            dpu_fatal("addProgram: reservation would leave no shared "
+                      "core for resident programs without one");
+    }
+
     programs.push_back(Resident{});
     Resident &r = programs.back();
     r.prog = std::move(program);
+    r.qos = qos;
+    r.index = static_cast<uint32_t>(programs.size() - 1);
     r.operations = operations;
     r.numInputs = r.prog.inputLocation.size();
-    return static_cast<ProgramHandle>(programs.size() - 1);
+
+    // Grant the reservation: the lowest-numbered shared cores become
+    // this program's own. The partition is static for the server's
+    // lifetime (programs cannot be removed).
+    uint32_t granted = 0;
+    for (uint32_t c = 0; c < config.cores && granted < qos.minCores;
+         ++c) {
+        if (coreReservedBy[c] == -1) {
+            coreReservedBy[c] = static_cast<int32_t>(r.index);
+            ++granted;
+        }
+    }
+    reservedCores += qos.minCores;
+    return static_cast<ProgramHandle>(r.index);
 }
 
 AsyncBatchServer::ProgramHandle
 AsyncBatchServer::addProgram(const Dag &dag, const ArchConfig &cfg,
                              const CompileOptions &options,
-                             ProgramCache *cache)
+                             ProgramCache *cache, QosSpec qos)
 {
     // Compile outside the server lock: a cold compile can take
     // seconds, and submits for already-resident programs must keep
     // flowing underneath it.
     CompiledProgram prog = cache ? cache->compile(dag, cfg, options)
                                  : compile(dag, cfg, options);
-    return addProgram(std::move(prog));
+    return addProgram(std::move(prog), qos);
 }
 
 std::future<SimResult>
 AsyncBatchServer::submit(ProgramHandle handle, std::vector<double> input)
 {
-    std::future<SimResult> fut;
+    SubmitResult r = trySubmit(handle, std::move(input));
+    if (r.admission == Admission::RejectedQueueFull)
+        dpu_fatal("submit: server queue full (queueDepth " +
+                  std::to_string(config.queueDepth) + ")");
+    if (r.admission == Admission::RejectedDeadline)
+        dpu_fatal("submit: request deadline already unmeetable");
+    return std::move(r.future);
+}
+
+SubmitResult
+AsyncBatchServer::trySubmit(ProgramHandle handle,
+                            std::vector<double> input,
+                            const SubmitOptions &options)
+{
+    SubmitResult out;
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (handle >= programs.size())
@@ -99,16 +163,55 @@ AsyncBatchServer::submit(ProgramHandle handle, std::vector<double> input)
                       std::to_string(r.numInputs) + " inputs, got " +
                       std::to_string(input.size()));
 
+        Priority prio = options.priority.value_or(r.qos.priority);
+        size_t cls = static_cast<size_t>(prio);
+        ClassStats &cs = counters.perClass[cls];
+        Clock::time_point now = Clock::now();
+
+        // Resolve the deadline: absolute wins, then the per-request
+        // relative one, then the program default.
+        Clock::time_point deadline{};
+        bool has_deadline = false;
+        if (options.deadlineAt != Clock::time_point{}) {
+            deadline = options.deadlineAt;
+            has_deadline = true;
+        } else {
+            std::chrono::microseconds rel = options.deadline.count()
+                ? options.deadline
+                : r.qos.deadline;
+            if (rel.count() != 0) {
+                deadline = now + rel;
+                has_deadline = true;
+            }
+        }
+
+        // Admission control: backpressure before bookkeeping.
+        if (config.queueDepth &&
+            outstanding >= config.queueDepth) {
+            ++cs.rejectedQueueFull;
+            out.admission = Admission::RejectedQueueFull;
+            return out;
+        }
+        if (has_deadline && deadline <= now) {
+            ++cs.rejectedDeadline;
+            out.admission = Admission::RejectedDeadline;
+            return out;
+        }
+
         Request rq;
         rq.input = std::move(input);
-        rq.arrival = Clock::now();
-        fut = rq.promise.get_future();
-        r.pending.push_back(std::move(rq));
+        rq.arrival = now;
+        rq.deadline = deadline;
+        rq.hasDeadline = has_deadline;
+        rq.priority = prio;
+        out.future = rq.promise.get_future();
+        r.pending[cls].push_back(std::move(rq));
         ++counters.requests;
+        ++cs.submitted;
         ++outstanding;
     }
     batcherCv.notify_one();
-    return fut;
+    return out;
 }
 
 void
@@ -137,17 +240,38 @@ AsyncBatchServer::numPrograms() const
     return programs.size();
 }
 
-void
-AsyncBatchServer::cutBatchLocked(Resident &r, uint64_t &reason)
+QosSpec
+AsyncBatchServer::programQos(ProgramHandle handle) const
 {
-    size_t n = std::min(r.pending.size(), config.maxBatch);
+    std::lock_guard<std::mutex> lock(mutex);
+    if (handle >= programs.size())
+        dpu_fatal("programQos: unknown program handle " +
+                  std::to_string(handle));
+    return programs[handle].qos;
+}
+
+void
+AsyncBatchServer::cutBatchLocked(Resident &r, size_t cls,
+                                 uint64_t &reason)
+{
+    std::vector<Request> &queue = r.pending[cls];
+    size_t n = std::min(queue.size(), config.maxBatch);
     Batch b;
     b.resident = &r;
-    b.requests.assign(std::make_move_iterator(r.pending.begin()),
-                      std::make_move_iterator(r.pending.begin() +
+    b.priority = static_cast<Priority>(cls);
+    b.seq = nextBatchSeq++;
+    b.requests.assign(std::make_move_iterator(queue.begin()),
+                      std::make_move_iterator(queue.begin() +
                                               static_cast<ptrdiff_t>(n)));
-    r.pending.erase(r.pending.begin(),
-                    r.pending.begin() + static_cast<ptrdiff_t>(n));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<ptrdiff_t>(n));
+    for (const Request &rq : b.requests) {
+        if (rq.hasDeadline &&
+            (!b.hasDeadline || rq.deadline < b.deadline)) {
+            b.deadline = rq.deadline;
+            b.hasDeadline = true;
+        }
+    }
     ready.push_back(std::move(b));
     ++counters.batches;
     ++reason;
@@ -164,27 +288,60 @@ AsyncBatchServer::batcherMain()
             return;
 
         Clock::time_point now = Clock::now();
-        bool have_deadline = false;
-        Clock::time_point next_deadline{};
+        bool have_wake = false;
+        Clock::time_point next_wake{};
         bool dispatched = false;
         for (Resident &r : programs) {
-            if (r.pending.empty())
-                continue;
-            if (r.pending.size() >= config.maxBatch) {
-                cutBatchLocked(r, counters.sizeDispatches);
-                dispatched = true;
-            } else if (drainers > 0) {
-                cutBatchLocked(r, counters.drainDispatches);
-                dispatched = true;
-            } else {
-                Clock::time_point deadline =
-                    r.pending.front().arrival + config.batchWindow;
-                if (now >= deadline) {
-                    cutBatchLocked(r, counters.windowDispatches);
+            for (size_t cls = 0; cls < kNumPriorities; ++cls) {
+                std::vector<Request> &queue = r.pending[cls];
+                if (queue.empty())
+                    continue;
+                if (queue.size() >= config.maxBatch) {
+                    cutBatchLocked(r, cls, counters.sizeDispatches);
                     dispatched = true;
-                } else if (!have_deadline || deadline < next_deadline) {
-                    next_deadline = deadline;
-                    have_deadline = true;
+                    continue;
+                }
+                if (drainers > 0) {
+                    cutBatchLocked(r, cls, counters.drainDispatches);
+                    dispatched = true;
+                    continue;
+                }
+
+                // The window says "wait for company"; a deadline says
+                // "stop waiting while it is still meetable". Cut at
+                // whichever comes first, leading the deadline by the
+                // program's observed batch service time.
+                Clock::time_point cut_at =
+                    queue.front().arrival + config.batchWindow;
+                bool deadline_driven = false;
+                Clock::time_point min_deadline{};
+                bool have_deadline = false;
+                for (const Request &rq : queue) {
+                    if (rq.hasDeadline &&
+                        (!have_deadline ||
+                         rq.deadline < min_deadline)) {
+                        min_deadline = rq.deadline;
+                        have_deadline = true;
+                    }
+                }
+                if (have_deadline) {
+                    Clock::time_point deadline_cut =
+                        min_deadline -
+                        std::chrono::microseconds(r.ewmaBatchUs);
+                    if (deadline_cut < cut_at) {
+                        cut_at = deadline_cut;
+                        deadline_driven = true;
+                    }
+                }
+                if (now >= cut_at) {
+                    cutBatchLocked(r, cls,
+                                   deadline_driven
+                                       ? counters.deadlineDispatches
+                                       : counters.windowDispatches);
+                    dispatched = true;
+                } else if (!have_wake || cut_at < next_wake) {
+                    next_wake = cut_at;
+                    have_wake = true;
                 }
             }
         }
@@ -192,11 +349,85 @@ AsyncBatchServer::batcherMain()
             workerCv.notify_all();
             continue; // re-scan: a cut may have left a remainder
         }
-        if (have_deadline)
-            batcherCv.wait_until(lock, next_deadline);
+        if (have_wake)
+            batcherCv.wait_until(lock, next_wake);
         else
             batcherCv.wait(lock);
     }
+}
+
+size_t
+AsyncBatchServer::pickRunnableLocked() const
+{
+    // EDF within priority bands over the cut batches, restricted to
+    // batches whose program can be granted a model core right now
+    // (its own free reserved cores, or a free shared core). A lower
+    // band never waits behind a higher one, but an un-runnable
+    // high-band batch does not block backfilling the cores it cannot
+    // use anyway.
+    size_t best = std::numeric_limits<size_t>::max();
+    for (size_t k = 0; k < ready.size(); ++k) {
+        const Batch &b = ready[k];
+        int32_t owner = static_cast<int32_t>(b.resident->index);
+        bool runnable = false;
+        for (uint32_t c = 0; c < config.cores && !runnable; ++c)
+            runnable = !coreBusy[c] && (coreReservedBy[c] == owner ||
+                                        coreReservedBy[c] == -1);
+        if (!runnable)
+            continue;
+        if (best == std::numeric_limits<size_t>::max()) {
+            best = k;
+            continue;
+        }
+        const Batch &cur = ready[best];
+        bool better;
+        if (b.priority != cur.priority)
+            better = b.priority < cur.priority;
+        else if (b.hasDeadline != cur.hasDeadline)
+            better = b.hasDeadline;
+        else if (b.hasDeadline && b.deadline != cur.deadline)
+            better = b.deadline < cur.deadline;
+        else
+            better = b.seq < cur.seq;
+        if (better)
+            best = k;
+    }
+    return best;
+}
+
+CoreSet
+AsyncBatchServer::acquireCoresLocked(const Batch &b)
+{
+    const Resident &r = *b.resident;
+    size_t limit = r.qos.maxCores ? r.qos.maxCores : config.cores;
+    limit = std::min(limit, b.requests.size());
+    if (limit < 1)
+        limit = 1;
+
+    CoreSet granted;
+    int32_t owner = static_cast<int32_t>(r.index);
+    // Own reserved cores first — they are useless to anyone else —
+    // then spread into the shared pool up to the cap.
+    for (uint32_t c = 0; c < config.cores && granted.count() < limit;
+         ++c)
+        if (!coreBusy[c] && coreReservedBy[c] == owner)
+            granted.ids.push_back(c);
+    for (uint32_t c = 0; c < config.cores && granted.count() < limit;
+         ++c)
+        if (!coreBusy[c] && coreReservedBy[c] == -1)
+            granted.ids.push_back(c);
+    dpu_assert(!granted.empty(),
+               "picked a batch with no acquirable model core");
+    for (uint32_t c : granted.ids)
+        coreBusy[c] = true;
+    return granted;
+}
+
+void
+AsyncBatchServer::releaseCoresLocked(const CoreSet &granted)
+{
+    for (uint32_t c : granted.ids)
+        coreBusy[c] = false;
 }
 
 void
@@ -204,17 +435,22 @@ AsyncBatchServer::workerMain()
 {
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
-        workerCv.wait(lock,
-                      [this] { return stopping || !ready.empty(); });
-        if (ready.empty()) {
-            if (stopping)
+        size_t idx = pickRunnableLocked();
+        if (idx == std::numeric_limits<size_t>::max()) {
+            if (stopping && ready.empty())
                 return;
+            // Woken by a new ready batch, a core release, or
+            // stopping — all of which mutate under this mutex, so no
+            // wakeup can be lost between the pick and the wait.
+            workerCv.wait(lock);
             continue;
         }
-        Batch batch = std::move(ready.front());
-        ready.pop_front();
-        const CompiledProgram &prog = batch.resident->prog;
-        uint64_t operations = batch.resident->operations;
+        Batch batch = std::move(ready[idx]);
+        ready.erase(ready.begin() + static_cast<ptrdiff_t>(idx));
+        CoreSet granted = acquireCoresLocked(batch);
+        Resident *resident = batch.resident;
+        const CompiledProgram &prog = resident->prog;
+        uint64_t operations = resident->operations;
         lock.unlock();
 
         std::vector<std::vector<double>> inputs;
@@ -222,15 +458,22 @@ AsyncBatchServer::workerMain()
         for (Request &rq : batch.requests)
             inputs.push_back(std::move(rq.input));
 
+        Clock::time_point service_start = Clock::now();
         BatchResult br;
         std::exception_ptr error;
         try {
-            br = BatchMachine(prog, config.cores, operations,
+            br = BatchMachine(prog, granted, operations,
                               config.hostThreadsPerBatch)
                      .run(inputs);
         } catch (...) {
             error = std::current_exception();
         }
+        Clock::time_point completion = Clock::now();
+        int64_t service_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                completion - service_start)
+                .count();
+
         if (error) {
             for (Request &rq : batch.requests)
                 rq.promise.set_exception(error);
@@ -241,13 +484,38 @@ AsyncBatchServer::workerMain()
         }
 
         lock.lock();
+        releaseCoresLocked(granted);
         if (!error) {
+            // A failed batch's (often near-zero) duration must not
+            // drag the service estimate toward 0 and erode the
+            // deadline lead of healthy batches.
+            resident->ewmaBatchUs = resident->ewmaBatchUs
+                ? (3 * resident->ewmaBatchUs + service_us) / 4
+                : service_us;
             counters.modeledWallCycles += br.wallCycles;
             counters.totalOperations += br.totalOperations;
+        }
+        for (const Request &rq : batch.requests) {
+            ClassStats &cs =
+                counters.perClass[static_cast<size_t>(rq.priority)];
+            ++cs.completed;
+            cs.lastCompletionSeq = ++counters.completions;
+            if (rq.hasDeadline) {
+                if (completion <= rq.deadline)
+                    ++cs.deadlineHits;
+                else
+                    ++cs.deadlineMisses;
+            }
         }
         outstanding -= batch.requests.size();
         if (outstanding == 0)
             idleCv.notify_all();
+        // Freed cores may make a queued batch runnable for a waiting
+        // worker; the refreshed service estimate may move a pending
+        // deadline's cut time, so a sleeping batcher must recompute
+        // its wake-up too.
+        workerCv.notify_all();
+        batcherCv.notify_all();
     }
 }
 

@@ -14,20 +14,46 @@
  * compiler's ProgramCache so the first submit pays a cache fetch
  * instead of a full compile when the artifact is already known.
  *
+ * QoS layer (SLO-aware serving on top of the submission API):
+ *
+ *   - Every request carries a priority class (interactive/batch,
+ *     inherited from its program's QosSpec or overridden per submit)
+ *     and an optional deadline. Requests of different classes never
+ *     share a batch.
+ *   - The dispatcher cuts a batch *early* — before its window expires
+ *     — when waiting longer would make the earliest request deadline
+ *     unmeetable (using a per-program EWMA of observed batch service
+ *     time as the estimate).
+ *   - Ready batches are scheduled earliest-deadline-first within
+ *     priority bands: any runnable interactive batch is picked before
+ *     any batch-class batch; ties fall back to cut order.
+ *   - Per-program core reservations partition the modeled cores: a
+ *     program with QosSpec::minCores owns that many cores outright
+ *     (no other program's batches can occupy them), and maxCores caps
+ *     how far its batches spread into the shared pool. Dispatch uses
+ *     BatchMachine's CoreSet form, so a batch really runs on the
+ *     specific core ids it was granted.
+ *   - Admission control: a bounded queue depth (and a
+ *     deadline-already-missed check) rejects requests up front with
+ *     an Admission result instead of letting the backlog grow without
+ *     bound — the server's backpressure signal.
+ *
  * Determinism: a request's SimResult is produced by a private Machine
  * running the resident program on that request's input — nothing about
- * batch composition, arrival interleaving, window length, or host
- * thread counts reaches the simulation. Per-request results are
- * therefore byte-identical across arrival orders and server
- * configurations (the serving analogue of the ParallelCompile
- * byte-identical guarantee; enforced by tests/test_async.cc). Only the
- * *latency* a caller observes and the aggregate batching statistics
- * depend on timing.
+ * batch composition, arrival interleaving, window length, deadlines,
+ * priorities, core reservations, or host thread counts reaches the
+ * simulation. Per-request results are therefore byte-identical across
+ * arrival orders and server configurations (the serving analogue of
+ * the ParallelCompile byte-identical guarantee; enforced by
+ * tests/test_async.cc and the randomized tests/test_async_stress.cc).
+ * Only the *latency* a caller observes, the admission outcomes under
+ * load, and the aggregate batching statistics depend on timing.
  */
 
 #ifndef DPU_SIM_ASYNC_HH
 #define DPU_SIM_ASYNC_HH
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -35,6 +61,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -43,11 +70,76 @@
 
 namespace dpu {
 
+/** Priority class of a request or a resident program. Lower value =
+ *  more urgent; the scheduler serves bands in this order. */
+enum class Priority : uint8_t
+{
+    Interactive = 0, ///< Latency-sensitive traffic.
+    Batch = 1,       ///< Throughput traffic; yields to Interactive.
+};
+
+/** Number of priority bands (array extents in the stats). */
+inline constexpr size_t kNumPriorities = 2;
+
+/** Per-program quality-of-service contract, fixed at addProgram(). */
+struct QosSpec
+{
+    /** Default class of this program's requests. */
+    Priority priority = Priority::Batch;
+
+    /** Model cores reserved for this program alone (0 = none). The
+     *  server validates that reservations fit the machine. */
+    uint32_t minCores = 0;
+
+    /** Cap on model cores one of this program's batches may occupy,
+     *  reserved + shared (0 = no cap beyond the machine size). Must
+     *  be >= minCores when both are set. */
+    uint32_t maxCores = 0;
+
+    /** Default per-request deadline, relative to submission (0 =
+     *  none). A submit may override it per request. */
+    std::chrono::microseconds deadline{0};
+};
+
+/** Admission outcome of a trySubmit(). */
+enum class Admission : uint8_t
+{
+    Accepted = 0,
+    RejectedQueueFull = 1, ///< Bounded queue depth exceeded.
+    RejectedDeadline = 2,  ///< Deadline already unmeetable at submit.
+};
+
+/** Per-request knobs for trySubmit(). */
+struct SubmitOptions
+{
+    /** Relative deadline from now; 0 = use the program's QosSpec
+     *  default. Negative means already missed (rejected). */
+    std::chrono::microseconds deadline{0};
+
+    /** Absolute deadline; when set (non-epoch) it wins over
+     *  `deadline`. In the past = rejected. */
+    std::chrono::steady_clock::time_point deadlineAt{};
+
+    /** Override the program's priority class for this request. */
+    std::optional<Priority> priority;
+};
+
+/** What a trySubmit() hands back: the admission verdict, and a future
+ *  that is valid() only when the request was accepted. */
+struct SubmitResult
+{
+    Admission admission = Admission::Accepted;
+    std::future<SimResult> future;
+
+    bool accepted() const { return admission == Admission::Accepted; }
+};
+
 /** Serving-side knobs. Simulation results never depend on these. */
 struct AsyncServerConfig
 {
     /** Model cores per dispatched batch (the paper's large system
-     *  deploys 4); feeds the modeled wall-cycle accounting. */
+     *  deploys 4); feeds the modeled wall-cycle accounting and is the
+     *  pool that per-program reservations partition. */
     uint32_t cores = 4;
 
     /** Dispatch a program's pending requests once this many have
@@ -66,13 +158,19 @@ struct AsyncServerConfig
     /** Host threads *inside* one BatchMachine dispatch (its
      *  byte-identical worker pool); 1 = sequential per batch. */
     uint32_t hostThreadsPerBatch = 1;
+
+    /** Bound on requests admitted but not yet completed; 0 =
+     *  unbounded (the pre-QoS behavior). Beyond it, trySubmit()
+     *  returns RejectedQueueFull (backpressure). */
+    size_t queueDepth = 0;
 };
 
 /**
  * A multi-program serving front-end over BatchMachine.
  *
- * Thread-safe: submit()/drain()/stats() may be called from any number
- * of client threads. The destructor drains outstanding requests.
+ * Thread-safe: submit()/trySubmit()/drain()/stats() may be called
+ * from any number of client threads. The destructor drains
+ * outstanding requests — every accepted future resolves.
  */
 class AsyncBatchServer
 {
@@ -80,6 +178,8 @@ class AsyncBatchServer
     /** Opaque id of a resident program (index, stable for the
      *  server's lifetime). */
     using ProgramHandle = uint32_t;
+
+    using Clock = std::chrono::steady_clock;
 
     explicit AsyncBatchServer(AsyncServerConfig config = {});
     ~AsyncBatchServer();
@@ -91,8 +191,16 @@ class AsyncBatchServer
      * Make a compiled program resident and eligible for submit().
      * @param operations Operations per execution for the throughput
      *        accounting; 0 = take program.stats.numOperations.
+     *
+     * Throws FatalError when `qos` cannot be honored: minCores
+     * exceeding the machine, maxCores < minCores, reservations that
+     * no longer fit next to the ones already granted, or a
+     * reservation that would leave an unreserved resident program
+     * with no core to run on.
      */
     ProgramHandle addProgram(CompiledProgram program,
+                             uint64_t operations = 0);
+    ProgramHandle addProgram(CompiledProgram program, QosSpec qos,
                              uint64_t operations = 0);
 
     /**
@@ -102,7 +210,8 @@ class AsyncBatchServer
      */
     ProgramHandle addProgram(const Dag &dag, const ArchConfig &cfg,
                              const CompileOptions &options = {},
-                             ProgramCache *cache = nullptr);
+                             ProgramCache *cache = nullptr,
+                             QosSpec qos = {});
 
     /**
      * Submit one request. The future becomes ready when the request's
@@ -110,26 +219,77 @@ class AsyncBatchServer
      * Machine(prog).run(input) would produce.
      *
      * Throws FatalError on an unknown handle or an input-size
-     * mismatch (before enqueueing anything).
+     * mismatch (before enqueueing anything) — and, unlike
+     * trySubmit(), also when admission rejects the request (only
+     * possible once queueDepth or deadlines are configured).
      */
     std::future<SimResult> submit(ProgramHandle handle,
                                   std::vector<double> input);
+
+    /**
+     * Admission-aware submit: never throws for backpressure. On
+     * RejectedQueueFull / RejectedDeadline nothing was enqueued and
+     * the returned future is invalid. Handle/input-size errors still
+     * throw FatalError (caller bugs, not load conditions).
+     */
+    SubmitResult trySubmit(ProgramHandle handle,
+                           std::vector<double> input,
+                           const SubmitOptions &options = {});
 
     /** Flush every pending batch (ignoring the window) and block
      *  until all submitted requests have completed. */
     void drain();
 
+    /** Per-priority-class serving counters. */
+    struct ClassStats
+    {
+        uint64_t submitted = 0;         ///< Accepted by admission.
+        uint64_t completed = 0;         ///< Futures resolved.
+        uint64_t deadlineHits = 0;      ///< Completed before deadline.
+        uint64_t deadlineMisses = 0;    ///< Completed after deadline.
+        uint64_t rejectedQueueFull = 0; ///< Backpressure rejections.
+        uint64_t rejectedDeadline = 0;  ///< Dead-on-arrival rejections.
+
+        /** 1-based position in the server's global completion order
+         *  of this class's most recent completion (0 = none yet).
+         *  Recorded under the server lock, so band-scheduling order
+         *  is observable without racing the client threads. */
+        uint64_t lastCompletionSeq = 0;
+
+        /** Deadline-hit fraction over deadlined completions. */
+        double
+        deadlineHitRate() const
+        {
+            uint64_t n = deadlineHits + deadlineMisses;
+            return n ? static_cast<double>(deadlineHits) /
+                           static_cast<double>(n)
+                     : 1.0;
+        }
+    };
+
     /** Aggregate serving counters since construction. */
     struct Stats
     {
-        uint64_t requests = 0;         ///< Submitted.
+        uint64_t requests = 0;         ///< Submitted (accepted).
         uint64_t batches = 0;          ///< Dispatched.
         uint64_t maxBatchObserved = 0; ///< Largest dispatched batch.
         uint64_t sizeDispatches = 0;   ///< Batches cut by maxBatch.
         uint64_t windowDispatches = 0; ///< Batches cut by the window.
         uint64_t drainDispatches = 0;  ///< Batches cut by drain().
+        uint64_t deadlineDispatches = 0; ///< Cut early for a deadline.
+        uint64_t completions = 0;       ///< Resolved requests (drives
+                                        ///< lastCompletionSeq).
         uint64_t modeledWallCycles = 0; ///< Summed over batches.
         uint64_t totalOperations = 0;   ///< Summed over batches.
+
+        /** Indexed by static_cast<size_t>(Priority). */
+        std::array<ClassStats, kNumPriorities> perClass{};
+
+        const ClassStats &
+        forClass(Priority p) const
+        {
+            return perClass[static_cast<size_t>(p)];
+        }
 
         /** Mean dispatched batch size (after a drain, every submitted
          *  request has been dispatched). */
@@ -146,52 +306,86 @@ class AsyncBatchServer
     /** Number of resident programs. */
     size_t numPrograms() const;
 
-  private:
-    using Clock = std::chrono::steady_clock;
+    /** The QoS contract a program was registered with. */
+    QosSpec programQos(ProgramHandle handle) const;
 
+  private:
     struct Request
     {
         std::vector<double> input;
         std::promise<SimResult> promise;
         Clock::time_point arrival;
+        Clock::time_point deadline{};
+        bool hasDeadline = false;
+        Priority priority = Priority::Batch;
     };
 
-    /** One resident program and its coalescing queue. Requests are
-     *  appended in arrival order, so front() is always oldest. */
+    /** One resident program, its QoS contract, and one coalescing
+     *  queue per priority class (classes never share a batch).
+     *  Requests are appended in arrival order, so front() is always
+     *  oldest. */
     struct Resident
     {
         CompiledProgram prog;
+        QosSpec qos;
+        uint32_t index = 0;       ///< Position in `programs`.
         uint64_t operations = 0;
         size_t numInputs = 0;
-        std::vector<Request> pending;
+        int64_t ewmaBatchUs = 0;  ///< Observed batch service time.
+        std::array<std::vector<Request>, kNumPriorities> pending;
     };
 
-    /** A cut batch on its way to a worker. */
+    /** A cut batch waiting for a worker and for model cores. */
     struct Batch
     {
         Resident *resident = nullptr;
         std::vector<Request> requests;
+        Priority priority = Priority::Batch;
+        Clock::time_point deadline{}; ///< Earliest request deadline.
+        bool hasDeadline = false;
+        uint64_t seq = 0; ///< Cut order (FIFO tiebreak within a band).
     };
 
     void batcherMain();
     void workerMain();
 
-    /** Move up to maxBatch requests of `r` onto the ready queue;
-     *  `reason` is the dispatch counter to bump. Lock held. */
-    void cutBatchLocked(Resident &r, uint64_t &reason);
+    /** Move up to maxBatch requests of `r`'s class-`cls` queue onto
+     *  the ready queue; `reason` is the dispatch counter to bump.
+     *  Lock held. */
+    void cutBatchLocked(Resident &r, size_t cls, uint64_t &reason);
+
+    /** EDF-within-priority-bands pick over `ready`, restricted to
+     *  batches that can acquire at least one model core right now;
+     *  SIZE_MAX when none is runnable. Lock held. */
+    size_t pickRunnableLocked() const;
+
+    /** Grant `b` its model cores: the program's free reserved cores
+     *  first, then free shared cores, capped by QosSpec::maxCores and
+     *  the batch size. Marks them busy. Lock held. */
+    CoreSet acquireCoresLocked(const Batch &b);
+
+    /** Inverse of acquireCoresLocked(). Lock held. */
+    void releaseCoresLocked(const CoreSet &granted);
 
     AsyncServerConfig config;
 
     mutable std::mutex mutex;
     std::condition_variable batcherCv; ///< submit/drain -> batcher.
-    std::condition_variable workerCv;  ///< batcher -> workers.
+    std::condition_variable workerCv;  ///< batcher/cores -> workers.
     std::condition_variable idleCv;    ///< workers -> drain().
 
     /** Resident programs; deque keeps addresses stable while growing. */
     std::deque<Resident> programs;
 
-    std::deque<Batch> ready;
-    uint64_t outstanding = 0; ///< Submitted but not yet completed.
+    /** Static core partition: owning program index, or -1 = shared. */
+    std::vector<int32_t> coreReservedBy;
+    /** Dynamic occupancy: true while a dispatched batch holds it. */
+    std::vector<bool> coreBusy;
+    uint32_t reservedCores = 0; ///< Sum of granted minCores.
+
+    std::vector<Batch> ready;
+    uint64_t nextBatchSeq = 0;
+    uint64_t outstanding = 0; ///< Accepted but not yet completed.
     uint32_t drainers = 0;    ///< drain() calls in progress.
     bool stopping = false;    ///< Destructor: threads exit when idle.
     Stats counters;

@@ -1,6 +1,7 @@
 #include "sim/batch.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/parallel.hh"
@@ -9,10 +10,18 @@ namespace dpu {
 
 BatchMachine::BatchMachine(const CompiledProgram &program, uint32_t n,
                            uint64_t ops, uint32_t host_threads)
-    : prog(program), cores(n), operations(ops),
+    : BatchMachine(program, CoreSet::firstN(n), ops, host_threads)
+{
+}
+
+BatchMachine::BatchMachine(const CompiledProgram &program,
+                           CoreSet core_set, uint64_t ops,
+                           uint32_t host_threads)
+    : prog(program), cores(std::move(core_set)), operations(ops),
       threads(host_threads < 1 ? 1 : host_threads)
 {
-    dpu_assert(cores >= 1, "need at least one core");
+    dpu_assert(!cores.empty(), "need at least one core");
+    cores.validate();
 }
 
 BatchResult
@@ -33,14 +42,16 @@ BatchMachine::run(const std::vector<std::vector<double>> &inputs)
     // core executes ceil(batch/cores) back-to-back programs and the
     // wall clock is the busiest core (they run in lockstep over
     // round-robin slices).
-    std::vector<uint64_t> core_cycles(cores, 0);
+    out.coreIds = cores.ids;
+    out.perCoreCycles.assign(cores.count(), 0);
     for (size_t k = 0; k < out.runs.size(); ++k) {
-        core_cycles[k % cores] += out.runs[k].stats.cycles;
+        out.perCoreCycles[k % cores.count()] += out.runs[k].stats.cycles;
         out.totalOperations += operations;
     }
     out.wallCycles = out.runs.empty()
         ? 0
-        : *std::max_element(core_cycles.begin(), core_cycles.end());
+        : *std::max_element(out.perCoreCycles.begin(),
+                            out.perCoreCycles.end());
     return out;
 }
 

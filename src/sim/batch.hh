@@ -37,6 +37,12 @@ struct BatchResult
     /** Total operations executed across the batch. */
     uint64_t totalOperations = 0;
 
+    /** Model core ids the batch ran on ({0..n-1} for the count
+     *  constructor) and the cycles each accumulated; wallCycles is
+     *  the maximum of perCoreCycles. */
+    std::vector<uint32_t> coreIds;
+    std::vector<uint64_t> perCoreCycles;
+
     /** Aggregate throughput at a clock frequency. */
     double
     throughputGops(double frequency_hz) const
@@ -66,12 +72,22 @@ class BatchMachine
     BatchMachine(const CompiledProgram &program, uint32_t cores,
                  uint64_t operations, uint32_t threads = 1);
 
+    /**
+     * Core-subset dispatch: run on an explicit set of model cores
+     * (per-program core partitioning on the serving side). The set's
+     * size plays the role of `cores` above; the ids only label the
+     * wall-clock accounting. Per-input SimResults are identical for
+     * any core set of the same program.
+     */
+    BatchMachine(const CompiledProgram &program, CoreSet core_set,
+                 uint64_t operations, uint32_t threads = 1);
+
     /** Run every input vector; inputs are dealt round-robin. */
     BatchResult run(const std::vector<std::vector<double>> &inputs);
 
   private:
     const CompiledProgram &prog;
-    uint32_t cores;
+    CoreSet cores;
     uint64_t operations;
     uint32_t threads;
 };

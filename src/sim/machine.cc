@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "arch/interconnect.hh"
 #include "dag/binarize.hh"
@@ -310,6 +311,26 @@ class Engine
 };
 
 } // namespace
+
+CoreSet
+CoreSet::firstN(uint32_t n)
+{
+    CoreSet s;
+    s.ids.resize(n);
+    for (uint32_t k = 0; k < n; ++k)
+        s.ids[k] = k;
+    return s;
+}
+
+void
+CoreSet::validate() const
+{
+    for (size_t i = 0; i < ids.size(); ++i)
+        for (size_t j = i + 1; j < ids.size(); ++j)
+            dpu_assert(ids[i] != ids[j],
+                       "core id " + std::to_string(ids[i]) +
+                           " appears twice in a CoreSet");
+}
 
 Machine::Machine(const CompiledProgram &program, SimOptions options)
     : prog(program), opts(options)

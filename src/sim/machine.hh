@@ -67,6 +67,32 @@ struct SimResult
     SimStats stats;
 };
 
+/**
+ * An explicit subset of the modeled machine's cores, identified by
+ * core id. BatchMachine historically took only a core *count*; the
+ * serving side partitions the modeled cores between resident programs
+ * (per-program reservations), so a batch must be able to run on, say,
+ * cores {2, 5} while another occupies {0, 1, 3, 4}. Core identity
+ * never reaches the per-input simulation — a Machine models one core
+ * regardless of its id — so it affects only the lockstep wall-clock
+ * accounting and the occupancy attribution.
+ */
+struct CoreSet
+{
+    /** Member core ids; must be unique. Order is the round-robin
+     *  slicing order. */
+    std::vector<uint32_t> ids;
+
+    /** The conventional contiguous set {0, 1, ..., n-1}. */
+    static CoreSet firstN(uint32_t n);
+
+    size_t count() const { return ids.size(); }
+    bool empty() const { return ids.empty(); }
+
+    /** Panic on duplicate ids (a double-booked model core). */
+    void validate() const;
+};
+
 /** The machine. */
 class Machine
 {

@@ -68,6 +68,20 @@ parseDoubleArg(const char *s, double &out)
     return true;
 }
 
+/** parseDoubleArg() restricted to [0, 1]: probability-style mix
+ *  fractions (e.g. the serving benches' --priority-mix). Negative
+ *  values and values above 1 are parse failures, like any other
+ *  out-of-domain flag value. */
+inline bool
+parseFractionArg(const char *s, double &out)
+{
+    double v = 0.0;
+    if (!parseDoubleArg(s, v) || v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
 } // namespace dpu
 
 #endif // DPU_SUPPORT_CLI_HH

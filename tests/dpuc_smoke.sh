@@ -1,10 +1,13 @@
 #!/bin/sh
-# CTest smoke test for the dpuc CLI exit-code contract:
-#   0 = success, 1 = user error, 2 = internal error.
-# Usage: dpuc_smoke.sh <path-to-dpuc>
+# CTest smoke test for the CLI exit-code contract:
+#   0 = success, 1 = user error, 2 = invalid option value.
+# Usage: dpuc_smoke.sh <path-to-dpuc> [path-to-serve_latency]
+# The optional second binary gets the serving-bench QoS flag checks
+# (--priority-mix/--deadline-us/--queue-depth strict validation).
 set -u
 
-DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc>}"
+DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc> [path-to-serve_latency]}"
+SERVE="${2:-}"
 TMP=$(mktemp -d) || exit 125
 trap 'rm -rf "$TMP"' EXIT
 fails=0
@@ -65,6 +68,32 @@ check 2 "--threads non-numeric" "$DPUC" "$TMP/tiny.dag" --threads=abc
 check 2 "--threads trailing junk" "$DPUC" "$TMP/tiny.dag" --threads=4x
 check 2 "--depth non-numeric" "$DPUC" "$TMP/tiny.dag" --depth=deep
 check 2 "--seed negative" "$DPUC" "$TMP/tiny.dag" --seed=-1
+
+# Serving-bench QoS flags: same strict-validation contract (exit 2 on
+# negative/non-numeric/out-of-range values). Rejection happens at flag
+# parse time, before any workload is compiled, so these are instant.
+if [ -n "$SERVE" ]; then
+    check 2 "serve --priority-mix negative" \
+        "$SERVE" --quick --priority-mix=-0.1
+    check 2 "serve --priority-mix > 1" \
+        "$SERVE" --quick --priority-mix=1.5
+    check 2 "serve --priority-mix non-numeric" \
+        "$SERVE" --quick --priority-mix=abc
+    check 2 "serve --deadline-us negative" \
+        "$SERVE" --quick --deadline-us=-5
+    check 2 "serve --deadline-us zero" \
+        "$SERVE" --quick --deadline-us=0
+    check 2 "serve --deadline-us non-numeric" \
+        "$SERVE" --quick --deadline-us=soon
+    check 2 "serve --queue-depth negative" \
+        "$SERVE" --quick --queue-depth=-1
+    check 2 "serve --queue-depth non-numeric" \
+        "$SERVE" --quick --queue-depth=deep
+    check 2 "serve --queue-depth trailing junk" \
+        "$SERVE" --quick --queue-depth=64x
+    check 1 "serve unknown flag still exit 1" \
+        "$SERVE" --quick --no-such-flag
+fi
 
 if [ "$fails" -ne 0 ]; then
     echo "dpuc_smoke: $fails check(s) failed"

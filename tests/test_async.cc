@@ -90,7 +90,8 @@ TEST(AsyncServer, ResultsMatchStandaloneMachine)
     EXPECT_EQ(s.requests, inputs.size());
     EXPECT_GE(s.batches, 1u);
     EXPECT_LE(s.maxBatchObserved, cfg.maxBatch);
-    EXPECT_EQ(s.sizeDispatches + s.windowDispatches + s.drainDispatches,
+    EXPECT_EQ(s.sizeDispatches + s.windowDispatches +
+                  s.drainDispatches + s.deadlineDispatches,
               s.batches);
 }
 
@@ -289,6 +290,286 @@ TEST(AsyncServer, ModeledCyclesAccumulate)
     // One batch of 8 on 4 model cores: wall = 2 runs back-to-back.
     EXPECT_EQ(s.modeledWallCycles, 2 * prog.stats.cycles);
     EXPECT_EQ(s.totalOperations, 8 * prog.stats.numOperations);
+}
+
+// ---------------------------------------------------------------- //
+// QoS layer: admission control, spec validation, priority bands,   //
+// core reservations, deadline-aware dispatch.                      //
+// ---------------------------------------------------------------- //
+
+TEST(AsyncServer, QueueFullRejectsWithBackpressure)
+{
+    Dag d = generateRandomDag(10, 200, 70);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 4, 71);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.batchWindow = std::chrono::seconds(30); // nothing dispatches
+    cfg.queueDepth = 2;
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    auto a = server.trySubmit(h, inputs[0]);
+    auto b = server.trySubmit(h, inputs[1]);
+    ASSERT_TRUE(a.accepted());
+    ASSERT_TRUE(b.accepted());
+    EXPECT_TRUE(a.future.valid());
+
+    // Third request exceeds the depth: rejected, nothing enqueued,
+    // no future to wait on.
+    auto c = server.trySubmit(h, inputs[2]);
+    EXPECT_EQ(c.admission, Admission::RejectedQueueFull);
+    EXPECT_FALSE(c.future.valid());
+
+    // The throwing submit() surfaces the same rejection as an error.
+    EXPECT_THROW(server.submit(h, inputs[2]), FatalError);
+
+    auto s = server.stats();
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_EQ(s.forClass(Priority::Batch).rejectedQueueFull, 2u);
+
+    // Draining frees the queue; admission recovers. (The second
+    // drain flushes the recovered request's still-open 30s window.)
+    server.drain();
+    auto after = server.trySubmit(h, inputs[3]);
+    EXPECT_TRUE(after.accepted());
+    server.drain();
+    expectIdentical(after.future.get(), Machine(prog).run(inputs[3]));
+    expectIdentical(a.future.get(), Machine(prog).run(inputs[0]));
+    expectIdentical(b.future.get(), Machine(prog).run(inputs[1]));
+}
+
+TEST(AsyncServer, PastDeadlineSubmissionRejected)
+{
+    Dag d = generateRandomDag(10, 200, 72);
+    auto prog = compile(d, smallConfig());
+    auto in = makeInputs(d, 1, 73)[0];
+
+    AsyncBatchServer server;
+    auto h = server.addProgram(prog);
+
+    // A negative relative deadline is dead on arrival.
+    SubmitOptions late;
+    late.deadline = std::chrono::microseconds(-10);
+    auto r1 = server.trySubmit(h, in, late);
+    EXPECT_EQ(r1.admission, Admission::RejectedDeadline);
+    EXPECT_FALSE(r1.future.valid());
+
+    // So is an absolute deadline already in the past.
+    SubmitOptions past;
+    past.deadlineAt = AsyncBatchServer::Clock::now() -
+        std::chrono::milliseconds(5);
+    auto r2 = server.trySubmit(h, in, past);
+    EXPECT_EQ(r2.admission, Admission::RejectedDeadline);
+
+    EXPECT_EQ(server.stats().forClass(Priority::Batch).rejectedDeadline,
+              2u);
+    EXPECT_EQ(server.stats().requests, 0u);
+
+    // A meetable deadline is admitted and served normally.
+    SubmitOptions fine;
+    fine.deadline = std::chrono::seconds(10);
+    auto r3 = server.trySubmit(h, in, fine);
+    ASSERT_TRUE(r3.accepted());
+    expectIdentical(r3.future.get(), Machine(prog).run(in));
+    auto cs = server.stats().forClass(Priority::Batch);
+    EXPECT_EQ(cs.deadlineHits, 1u);
+    EXPECT_EQ(cs.deadlineMisses, 0u);
+    EXPECT_DOUBLE_EQ(cs.deadlineHitRate(), 1.0);
+}
+
+TEST(AsyncServer, QosSpecValidatesCoreBounds)
+{
+    Dag d = generateRandomDag(10, 200, 74);
+    auto prog = compile(d, smallConfig());
+
+    AsyncServerConfig cfg;
+    cfg.cores = 4;
+    AsyncBatchServer server(cfg);
+
+    QosSpec too_many;
+    too_many.minCores = 5; // > cfg.cores
+    EXPECT_THROW(server.addProgram(prog, too_many), FatalError);
+
+    QosSpec inverted;
+    inverted.minCores = 3;
+    inverted.maxCores = 2; // cap below the reservation
+    EXPECT_THROW(server.addProgram(prog, inverted), FatalError);
+
+    // An unreserved program plus a reservation that would eat every
+    // core: the unreserved program could never run.
+    auto h0 = server.addProgram(prog); // minCores = 0
+    QosSpec greedy;
+    greedy.minCores = 4;
+    EXPECT_THROW(server.addProgram(prog, greedy), FatalError);
+
+    // A fitting reservation is granted, and the failed attempts did
+    // not leak partial state.
+    QosSpec fair;
+    fair.minCores = 2;
+    fair.maxCores = 2;
+    auto h1 = server.addProgram(prog, fair);
+    EXPECT_EQ(server.numPrograms(), 2u);
+    EXPECT_EQ(server.programQos(h1).minCores, 2u);
+    EXPECT_EQ(server.programQos(h0).minCores, 0u);
+
+    auto in = makeInputs(d, 1, 75)[0];
+    expectIdentical(server.submit(h1, in).get(), Machine(prog).run(in));
+}
+
+TEST(AsyncServer, CoreReservationBoundsModeledBatchCores)
+{
+    Dag d = generateRandomDag(10, 200, 76);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 8, 77);
+
+    AsyncServerConfig cfg;
+    cfg.cores = 4;
+    cfg.maxBatch = 8;
+    cfg.batchWindow = std::chrono::seconds(5);
+    AsyncBatchServer server(cfg);
+
+    // Pinned to 2 of the 4 modeled cores: a full batch of 8 runs as
+    // 4 back-to-back programs per core instead of 2 — visible in the
+    // deterministic modeled wall clock.
+    QosSpec pinned;
+    pinned.minCores = 2;
+    pinned.maxCores = 2;
+    auto h = server.addProgram(prog, pinned);
+    for (const auto &in : inputs)
+        server.submit(h, in);
+    server.drain();
+
+    auto s = server.stats();
+    EXPECT_EQ(s.modeledWallCycles, 4 * prog.stats.cycles);
+    EXPECT_EQ(s.totalOperations, 8 * prog.stats.numOperations);
+}
+
+TEST(AsyncServer, InteractiveBandBypassesBatchBacklog)
+{
+    Dag d = generateRandomDag(12, 300, 78);
+    auto prog = compile(d, smallConfig());
+    const size_t backlog = 16;
+    auto inputs = makeInputs(d, backlog + 1, 79);
+
+    AsyncServerConfig cfg;
+    cfg.workers = 1; // serialize dispatch so band order is observable
+    cfg.maxBatch = 64;
+    // A window long enough that the whole load is submitted while
+    // the queues are still coalescing: nothing reaches a worker
+    // before both class batches exist, making the band-order check
+    // deterministic rather than a race against the worker.
+    cfg.batchWindow = std::chrono::milliseconds(250);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog); // Batch class by default
+
+    // One interactive request first (its window expires first), then
+    // a batch-class backlog. The batcher cuts the interactive batch
+    // no later than the backlog batch, and the scheduler must start
+    // it first, so the interactive future resolves while the backlog
+    // has barely run.
+    SubmitOptions urgent;
+    urgent.priority = Priority::Interactive;
+    auto fast = server.trySubmit(h, inputs[backlog], urgent);
+    ASSERT_TRUE(fast.accepted());
+    std::vector<std::future<SimResult>> backlog_futures;
+    for (size_t k = 0; k < backlog; ++k)
+        backlog_futures.push_back(server.submit(h, inputs[k]));
+
+    expectIdentical(fast.future.get(),
+                    Machine(prog).run(inputs[backlog]));
+    server.drain();
+    for (size_t k = 0; k < backlog; ++k)
+        expectIdentical(backlog_futures[k].get(),
+                        Machine(prog).run(inputs[k]));
+
+    // The completion-order observable (recorded under the server
+    // lock) pins the band order without racing the worker: the
+    // interactive request finished first, before any of the backlog
+    // — a FIFO scheduler would have finished it last.
+    auto s = server.stats();
+    EXPECT_EQ(s.forClass(Priority::Interactive).submitted, 1u);
+    EXPECT_EQ(s.forClass(Priority::Interactive).lastCompletionSeq, 1u);
+    EXPECT_EQ(s.forClass(Priority::Batch).completed, backlog);
+    EXPECT_EQ(s.forClass(Priority::Batch).lastCompletionSeq,
+              backlog + 1);
+    EXPECT_EQ(s.completions, backlog + 1);
+}
+
+TEST(AsyncServer, DeadlineCutsBatchBeforeWindowExpires)
+{
+    Dag d = generateRandomDag(10, 200, 80);
+    auto prog = compile(d, smallConfig());
+    auto in = makeInputs(d, 1, 81)[0];
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.batchWindow = std::chrono::seconds(30); // would stall alone
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    SubmitOptions opts;
+    opts.deadline = std::chrono::milliseconds(5);
+    auto r = server.trySubmit(h, in, opts);
+    ASSERT_TRUE(r.accepted());
+    // Resolves in ~5ms, not 30s: the dispatcher cut the batch early
+    // for the deadline.
+    expectIdentical(r.future.get(), Machine(prog).run(in));
+    auto s = server.stats();
+    EXPECT_EQ(s.deadlineDispatches, 1u);
+    EXPECT_EQ(s.windowDispatches, 0u);
+}
+
+TEST(AsyncServer, DestructorResolvesPendingFutures)
+{
+    // Drain-on-shutdown: a server destroyed with an open window and
+    // pending requests must resolve every accepted future (no
+    // deadlock, no broken promise).
+    Dag d = generateRandomDag(10, 200, 82);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 5, 83);
+
+    std::vector<std::future<SimResult>> futures;
+    {
+        AsyncServerConfig cfg;
+        cfg.maxBatch = 64;
+        cfg.batchWindow = std::chrono::seconds(30);
+        cfg.workers = 2;
+        AsyncBatchServer server(cfg);
+        auto h = server.addProgram(prog);
+        for (const auto &in : inputs)
+            futures.push_back(server.submit(h, in));
+        // Destructor runs here with all five requests still pending.
+    }
+    for (size_t k = 0; k < inputs.size(); ++k)
+        expectIdentical(futures[k].get(), Machine(prog).run(inputs[k]));
+}
+
+TEST(AsyncServer, PerRequestDeadlineDefaultsFromProgramQos)
+{
+    Dag d = generateRandomDag(10, 200, 84);
+    auto prog = compile(d, smallConfig());
+    auto in = makeInputs(d, 1, 85)[0];
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.batchWindow = std::chrono::seconds(30);
+    AsyncBatchServer server(cfg);
+
+    QosSpec spec;
+    spec.priority = Priority::Interactive;
+    spec.deadline = std::chrono::milliseconds(5);
+    auto h = server.addProgram(prog, spec);
+
+    // No per-request options: the program's QoS supplies class and
+    // deadline, so the request is cut early and counted interactive.
+    auto fut = server.submit(h, in);
+    expectIdentical(fut.get(), Machine(prog).run(in));
+    auto s = server.stats();
+    EXPECT_EQ(s.forClass(Priority::Interactive).submitted, 1u);
+    EXPECT_EQ(s.forClass(Priority::Batch).submitted, 0u);
+    EXPECT_EQ(s.deadlineDispatches, 1u);
 }
 
 } // namespace

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "compiler/compiler.hh"
 #include "sim/batch.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "workloads/pc_generator.hh"
 
@@ -170,6 +173,69 @@ TEST(BatchMachine, SingleInputManyCores)
     auto r = bm.run(batch);
     EXPECT_EQ(r.wallCycles, prog.stats.cycles);
     EXPECT_EQ(r.totalOperations, prog.stats.numOperations);
+}
+
+TEST(CoreSet, FirstNAndValidation)
+{
+    CoreSet s = CoreSet::firstN(3);
+    ASSERT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.ids, (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(CoreSet::firstN(0).empty());
+    s.validate(); // unique ids pass
+
+    CoreSet dup;
+    dup.ids = {2, 5, 2};
+    EXPECT_THROW(dup.validate(), PanicError);
+}
+
+TEST(BatchMachine, CoreSubsetMatchesEquivalentCount)
+{
+    // Core-subset dispatch (per-program partitioning on the serving
+    // side): running on cores {1, 3, 5} is byte-identical to running
+    // on 3 conventionally numbered cores — identity only labels the
+    // accounting.
+    Dag d = generateRandomDag(16, 600, 55);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 7, 56);
+
+    CoreSet subset;
+    subset.ids = {1, 3, 5};
+    BatchMachine by_count(prog, 3, prog.stats.numOperations);
+    BatchMachine by_set(prog, subset, prog.stats.numOperations, 2);
+    auto rc = by_count.run(batch);
+    auto rs = by_set.run(batch);
+    expectIdenticalResults(rc, rs);
+    EXPECT_EQ(rs.coreIds, subset.ids);
+    EXPECT_EQ(rc.coreIds, (std::vector<uint32_t>{0, 1, 2}));
+    EXPECT_EQ(rs.perCoreCycles, rc.perCoreCycles);
+}
+
+TEST(BatchMachine, PerCoreCyclesFoldToWallClock)
+{
+    Dag d = generateRandomDag(8, 150, 57);
+    auto prog = compile(d, smallConfig());
+    auto batch = makeBatch(d, 5, 58);
+
+    CoreSet subset;
+    subset.ids = {7, 2};
+    BatchMachine bm(prog, subset, prog.stats.numOperations);
+    auto r = bm.run(batch);
+    ASSERT_EQ(r.perCoreCycles.size(), 2u);
+    // Round-robin over 2 cores: first core (id 7) gets 3 slices.
+    EXPECT_EQ(r.perCoreCycles[0], 3 * prog.stats.cycles);
+    EXPECT_EQ(r.perCoreCycles[1], 2 * prog.stats.cycles);
+    EXPECT_EQ(r.wallCycles,
+              *std::max_element(r.perCoreCycles.begin(),
+                                r.perCoreCycles.end()));
+}
+
+TEST(BatchMachine, EmptyCoreSetRejected)
+{
+    Dag d = generateRandomDag(8, 100, 59);
+    auto prog = compile(d, smallConfig());
+    EXPECT_THROW(BatchMachine(prog, CoreSet{}, 1), PanicError);
+    EXPECT_THROW(BatchMachine(prog, 0u, 1), PanicError);
 }
 
 TEST(BatchMachine, ThreadCountDoesNotChangeModelClock)

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the bench harness's JSON report, centered on the
+ * typed series emitter: bench reports used to carry table rows only
+ * as formatted strings; Context::series() adds name -> numeric-vector
+ * entries as real JSON number arrays under a top-level "series"
+ * object (required by tools/run_benches). Pinned by a golden sample
+ * of the full report text, so any format drift is a deliberate,
+ * reviewed change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+
+namespace dpu {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Run a Context through finish() with a fixed argv; returns the
+ *  report text. */
+std::string
+emitReport(const std::string &json_path,
+           const std::function<void(bench::Context &)> &populate)
+{
+    std::string a0 = "test_harness_json";
+    std::string a1 = "--json=" + json_path;
+    std::string a2 = "--no-cache"; // keep cache metrics out of the report
+    char *argv[] = {a0.data(), a1.data(), a2.data()};
+    bench::Context ctx(3, argv, "golden", "unit test");
+    populate(ctx);
+    EXPECT_EQ(ctx.finish(), 0);
+    return slurp(json_path);
+}
+
+TEST(HarnessJson, GoldenReportWithTypedSeries)
+{
+    std::string path = ::testing::TempDir() + "harness_golden.json";
+    std::string text = emitReport(path, [](bench::Context &ctx) {
+        ctx.metric("rps", 123.5);
+        ctx.series("latency_us", {10.5, 20, 30.25});
+        ctx.series("empty", {});
+    });
+    std::remove(path.c_str());
+
+    const char *golden = "{\n"
+                         "  \"bench\": \"golden\",\n"
+                         "  \"paper_element\": \"unit test\",\n"
+                         "  \"scale\": 1,\n"
+                         "  \"quick\": false,\n"
+                         "  \"threads\": 1,\n"
+                         "  \"metrics\": {\"rps\": 123.5},\n"
+                         "  \"notes\": {},\n"
+                         "  \"series\": {\n"
+                         "    \"latency_us\": [10.5, 20, 30.25],\n"
+                         "    \"empty\": []\n"
+                         "  },\n"
+                         "  \"tables\": [\n"
+                         "  ]\n"
+                         "}\n";
+    EXPECT_EQ(text, golden);
+
+    std::string error;
+    EXPECT_TRUE(bench::validJson(text, &error)) << error;
+}
+
+TEST(HarnessJson, SeriesObjectPresentEvenWhenEmpty)
+{
+    // tools/run_benches requires the "series" key in every harness
+    // report; a bench that records none must still emit the object.
+    std::string path = ::testing::TempDir() + "harness_noseries.json";
+    std::string text = emitReport(path, [](bench::Context &) {});
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("\"series\": {},"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(bench::validJson(text, &error)) << error;
+}
+
+TEST(HarnessJson, NonFiniteSeriesValuesBecomeNull)
+{
+    // JSON has no NaN/Inf; the emitter must not produce an invalid
+    // report when a metric degenerates.
+    std::string path = ::testing::TempDir() + "harness_nan.json";
+    std::string text = emitReport(path, [](bench::Context &ctx) {
+        ctx.series("degenerate",
+                   {1.0, std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::infinity()});
+    });
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("\"degenerate\": [1, null, null]"),
+              std::string::npos);
+    std::string error;
+    EXPECT_TRUE(bench::validJson(text, &error)) << error;
+}
+
+TEST(HarnessJson, TopLevelKeyCheckIsStructureAware)
+{
+    // The run_benches "series" requirement must not be fooled by the
+    // key name appearing as a string value or in a nested object —
+    // only a real top-level key counts.
+    EXPECT_TRUE(bench::jsonTopLevelKey("{\"series\": {}}", "series"));
+    EXPECT_TRUE(bench::jsonTopLevelKey(
+        "{ \"a\": [1, {\"x\": 2}], \"series\" : {\"s\": [1]} }",
+        "series"));
+
+    EXPECT_FALSE(bench::jsonTopLevelKey(
+        "{\"notes\": {\"doc\": \"see \\\"series\\\" docs\"}}",
+        "series"));
+    EXPECT_FALSE(bench::jsonTopLevelKey(
+        "{\"notes\": {\"series\": [1, 2]}}", "series"));
+    EXPECT_FALSE(bench::jsonTopLevelKey("{\"a\": \"series\"}",
+                                        "series"));
+    EXPECT_FALSE(bench::jsonTopLevelKey("[{\"series\": {}}]",
+                                        "series")); // not an object
+    EXPECT_FALSE(bench::jsonTopLevelKey("", "series"));
+
+    // The real report shape passes.
+    std::string path = ::testing::TempDir() + "harness_key.json";
+    std::string text = emitReport(path, [](bench::Context &ctx) {
+        ctx.note("doc", "a note mentioning \"series\" in prose");
+    });
+    std::remove(path.c_str());
+    EXPECT_TRUE(bench::jsonTopLevelKey(text, "series"));
+    EXPECT_FALSE(bench::jsonTopLevelKey(text, "nope"));
+}
+
+TEST(HarnessJson, ValidatorRejectsMalformedSeries)
+{
+    // The validator run_benches applies must actually catch a
+    // truncated series array.
+    std::string bad = "{\"series\": {\"x\": [1, 2, }}";
+    std::string error;
+    EXPECT_FALSE(bench::validJson(bad, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace dpu

@@ -268,5 +268,29 @@ TEST(Cli, ParseDoubleAcceptsNumbersRejectsJunk)
     EXPECT_FALSE(parseDoubleArg(nullptr, v));
 }
 
+TEST(Cli, ParseFractionRestrictsToUnitInterval)
+{
+    // The serving benches' --priority-mix flag: a probability, so
+    // anything outside [0, 1] (or non-numeric) is a strict-validation
+    // failure, not a clamp.
+    double v = -1;
+    EXPECT_TRUE(parseFractionArg("0", v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+    EXPECT_TRUE(parseFractionArg("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseFractionArg("1", v));
+    EXPECT_DOUBLE_EQ(v, 1.0);
+    EXPECT_TRUE(parseFractionArg("5e-1", v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+
+    EXPECT_FALSE(parseFractionArg("-0.1", v));
+    EXPECT_FALSE(parseFractionArg("1.01", v));
+    EXPECT_FALSE(parseFractionArg("abc", v));
+    EXPECT_FALSE(parseFractionArg("0.5junk", v));
+    EXPECT_FALSE(parseFractionArg("", v));
+    EXPECT_FALSE(parseFractionArg(nullptr, v));
+    EXPECT_DOUBLE_EQ(v, 0.5); // failures must not clobber the output
+}
+
 } // namespace
 } // namespace dpu

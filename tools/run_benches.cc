@@ -213,9 +213,21 @@ main(int argc, char **argv)
         return validate(report);
     };
     auto validate_harness_json = [](const std::string &report) {
+        std::ifstream in(report);
+        if (!in)
+            return "BAD JSON (cannot open " + report + ")";
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string text = buf.str();
         std::string error;
-        if (!bench::validJsonFile(report, &error))
+        if (!bench::validJson(text, &error))
             return "BAD JSON (" + error + ")";
+        // Every harness report must carry the typed-series object
+        // (possibly empty) — the machine-readable channel trend
+        // tooling consumes; its absence means the bench bypassed
+        // Context::finish() or predates the series format.
+        if (!bench::jsonTopLevelKey(text, "series"))
+            return std::string("BAD JSON (missing \"series\" object)");
         return std::string("ok");
     };
 
