@@ -103,6 +103,21 @@ class ProgramCache
         uint64_t misses = 0;     ///< Full compiles.
         uint64_t evictions = 0;  ///< LRU evictions from memory.
         uint64_t diskWrites = 0; ///< Spill files written.
+
+        /** Total compile() lookups (hits + diskHits + misses). */
+        uint64_t lookups() const { return hits + diskHits + misses; }
+
+        /** Fraction of lookups served from the cache (memory or
+         *  disk); 0 when nothing was looked up yet. The number the
+         *  sweep drivers report per shard/sweep. */
+        double
+        hitRate() const
+        {
+            uint64_t n = lookups();
+            return n ? static_cast<double>(hits + diskHits) /
+                           static_cast<double>(n)
+                     : 0.0;
+        }
     };
     Stats stats() const;
 

@@ -1,19 +1,78 @@
 #include "model/dse.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
 #include "compiler/compiler.hh"
+#include "sim/batch.hh"
 #include "sim/machine.hh"
+#include "support/parallel.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 
 namespace dpu {
 
+namespace {
+
+/** Shortest round-trip JSON rendering of a double: a parsed journal
+ *  line re-serializes byte-identically, which is what makes the
+ *  canonical journal deterministic across resume boundaries. */
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf; parser treats as torn
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "null";
+    return std::string(buf, end);
+}
+
+/** Escape '"' and '\' (the only characters our emitters can produce
+ *  that need it; signatures and labels carry no control chars). */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// Point evaluation.                                                //
+// ---------------------------------------------------------------- //
+
 DsePoint
 evaluateDesign(const ArchConfig &cfg,
                const std::vector<WorkloadSpec> &suite, double scale,
-               uint64_t seed)
+               uint64_t seed, uint32_t cores, ProgramCache *cache,
+               DseEvalCost *cost)
 {
     DsePoint point;
     point.cfg = cfg;
+    point.workloadScale = scale;
+    point.cores = cores;
     point.areaMm2 = areaOf(cfg).total;
 
     Summary lat, epo, gops, watts;
@@ -23,23 +82,62 @@ evaluateDesign(const ArchConfig &cfg,
         opt.seed = seed;
         CompiledProgram prog;
         try {
-            prog = compile(dag, cfg, opt);
+            prog = cache ? cache->compile(dag, cfg, opt)
+                         : compile(dag, cfg, opt);
         } catch (const FatalError &) {
             // Register file too small for this workload: the design
             // point cannot run the suite.
             point.feasible = false;
             return point;
         }
+        if (cost) {
+            cost->compiles += 1;
+            cost->cacheHits += prog.stats.cacheHits;
+            cost->compileSeconds += prog.stats.compileSeconds;
+        }
+
         Rng rng(seed + spec.seed);
-        std::vector<double> inputs(dag.numInputs());
-        for (double &x : inputs)
-            x = 0.5 + rng.uniform();
-        SimResult res = Machine(prog).run(inputs);
-        EnergyBreakdown e =
-            energyOf(cfg, res.stats, prog.stats.numOperations);
+        SimStats stats;
+        uint64_t operations = prog.stats.numOperations;
+        if (cores <= 1) {
+            std::vector<double> inputs(dag.numInputs());
+            for (double &x : inputs)
+                x = 0.5 + rng.uniform();
+            stats = Machine(prog).run(inputs).stats;
+        } else {
+            // Multi-core axis: a `cores`-input batch on a
+            // BatchMachine; wall cycles set the latency, the summed
+            // event counts set the energy.
+            std::vector<std::vector<double>> batch(cores);
+            for (auto &inputs : batch) {
+                inputs.resize(dag.numInputs());
+                for (double &x : inputs)
+                    x = 0.5 + rng.uniform();
+            }
+            BatchResult br =
+                BatchMachine(prog, cores, operations, 1).run(batch);
+            stats.cycles = br.wallCycles;
+            for (const SimResult &run : br.runs) {
+                const SimStats &s = run.stats;
+                for (size_t k = 0; k < s.kindCount.size(); ++k)
+                    stats.kindCount[k] += s.kindCount[k];
+                stats.bankReads += s.bankReads;
+                stats.bankWrites += s.bankWrites;
+                stats.peOperations += s.peOperations;
+                stats.pePassThroughs += s.pePassThroughs;
+                stats.crossbarTransfers += s.crossbarTransfers;
+                stats.memReads += s.memReads;
+                stats.memWrites += s.memWrites;
+                stats.instrBitsFetched += s.instrBitsFetched;
+                stats.peakLiveRegisters = std::max(
+                    stats.peakLiveRegisters, s.peakLiveRegisters);
+            }
+            operations *= cores;
+        }
+        EnergyBreakdown e = energyOf(cfg, stats, operations);
         lat.add(e.latencyPerOpNs());
         epo.add(e.energyPerOpPj());
-        gops.add(double(prog.stats.numOperations) / e.seconds() * 1e-9);
+        gops.add(double(operations) / e.seconds() * 1e-9);
         watts.add(e.wallPowerWatts());
     }
     point.latencyPerOpNs = lat.mean();
@@ -50,44 +148,599 @@ evaluateDesign(const ArchConfig &cfg,
     return point;
 }
 
-std::vector<DsePoint>
-exploreDesignSpace(const DseOptions &options)
+// ---------------------------------------------------------------- //
+// Grid expansion + shard planning.                                 //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/** Effective optional-axis values (empty axis = its default). */
+std::vector<double>
+effectiveScales(const DseOptions &o)
 {
-    auto suite = smallSuite();
-    std::vector<DsePoint> points;
+    return o.scales.empty() ? std::vector<double>{o.workloadScale}
+                            : o.scales;
+}
+
+std::vector<uint32_t>
+effectiveCores(const DseOptions &o)
+{
+    return o.cores.empty() ? std::vector<uint32_t>{1} : o.cores;
+}
+
+} // namespace
+
+bool
+validateDseAxes(const DseOptions &options, std::string *error)
+{
+    auto fail = [error](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
     for (uint32_t d : options.depths)
-        for (uint32_t b : options.banks)
-            for (uint32_t r : options.regs) {
-                if (b < (1u << d))
-                    continue; // needs at least one full tree
-                ArchConfig cfg;
-                cfg.depth = d;
-                cfg.banks = b;
-                cfg.regsPerBank = r;
-                points.push_back(evaluateDesign(cfg, suite,
-                                                options.workloadScale,
-                                                options.seed));
-            }
-    return points;
+        if (d < 1 || d > 6)
+            return fail("DSE depth axis value " + std::to_string(d) +
+                        " outside the supported range [1, 6]");
+    for (uint32_t b : options.banks)
+        if (b < 2 || (b & (b - 1)) != 0)
+            return fail("DSE banks axis value " + std::to_string(b) +
+                        " is not a power of two >= 2");
+    for (uint32_t r : options.regs)
+        if (r < 2)
+            return fail("DSE regs axis value " + std::to_string(r) +
+                        " is below the minimum of 2");
+    for (double s : effectiveScales(options))
+        if (!(s > 0))
+            return fail("DSE workload scale " + jsonDouble(s) +
+                        " must be > 0");
+    for (uint32_t c : effectiveCores(options))
+        if (c < 1)
+            return fail("DSE cores axis value must be >= 1");
+    return true;
+}
+
+std::vector<DseGridPoint>
+expandDseGrid(const DseOptions &options)
+{
+    std::string error;
+    if (!validateDseAxes(options, &error))
+        dpu_fatal(error);
+    std::vector<double> scales = effectiveScales(options);
+    std::vector<uint32_t> cores = effectiveCores(options);
+
+    std::vector<DseGridPoint> grid;
+    for (uint32_t d : options.depths)
+        for (uint32_t b : options.banks) {
+            if (b < (1u << d))
+                continue; // needs at least one full tree
+            for (uint32_t r : options.regs)
+                for (double s : scales)
+                    for (uint32_t c : cores) {
+                        DseGridPoint p;
+                        p.cfg.depth = d;
+                        p.cfg.banks = b;
+                        p.cfg.regsPerBank = r;
+                        p.scale = s;
+                        p.cores = c;
+                        grid.push_back(p);
+                    }
+        }
+    return grid;
+}
+
+std::string
+dseSpaceSignature(const DseOptions &options)
+{
+    std::ostringstream os;
+    auto list = [&os](const char *name, const auto &values,
+                      auto format) {
+        os << name << "=";
+        for (size_t i = 0; i < values.size(); ++i)
+            os << (i ? "," : "") << format(values[i]);
+        os << "|";
+    };
+    auto u32 = [](uint32_t v) { return std::to_string(v); };
+    list("depths", options.depths, u32);
+    list("banks", options.banks, u32);
+    list("regs", options.regs, u32);
+    list("scales", effectiveScales(options), jsonDouble);
+    list("cores", effectiveCores(options), u32);
+    os << "seed=" << options.seed << "|suite=";
+    const std::vector<WorkloadSpec> suite =
+        options.suite.empty() ? smallSuite() : options.suite;
+    for (size_t i = 0; i < suite.size(); ++i)
+        os << (i ? "," : "") << suite[i].name;
+    return os.str();
+}
+
+std::vector<DseShard>
+planDseShards(size_t points, uint32_t shards)
+{
+    std::vector<DseShard> plan;
+    if (points == 0)
+        return plan;
+    size_t n = std::min<size_t>(std::max<uint32_t>(shards, 1), points);
+    size_t base = points / n;
+    size_t extra = points % n;
+    size_t at = 0;
+    for (size_t s = 0; s < n; ++s) {
+        size_t len = base + (s < extra ? 1 : 0);
+        plan.push_back({at, at + len});
+        at += len;
+    }
+    return plan;
+}
+
+// ---------------------------------------------------------------- //
+// Journal format.                                                  //
+// ---------------------------------------------------------------- //
+
+std::string
+dseJournalHeaderLine(const std::string &space, size_t points)
+{
+    std::ostringstream os;
+    os << "{\"dse_journal\": 1, \"space\": " << jsonString(space)
+       << ", \"points\": " << points << "}";
+    return os.str();
+}
+
+std::string
+dseJournalPointLine(size_t index, const DsePoint &p)
+{
+    std::ostringstream os;
+    os << "{\"index\": " << index
+       << ", \"design\": " << jsonString(p.cfg.label())
+       << ", \"depth\": " << p.cfg.depth
+       << ", \"banks\": " << p.cfg.banks
+       << ", \"regs\": " << p.cfg.regsPerBank
+       << ", \"scale\": " << jsonDouble(p.workloadScale)
+       << ", \"cores\": " << p.cores
+       << ", \"feasible\": " << (p.feasible ? "true" : "false")
+       << ", \"latency_per_op_ns\": " << jsonDouble(p.latencyPerOpNs)
+       << ", \"energy_per_op_pj\": " << jsonDouble(p.energyPerOpPj)
+       << ", \"edp_pj_ns\": " << jsonDouble(p.edpPjNs)
+       << ", \"area_mm2\": " << jsonDouble(p.areaMm2)
+       << ", \"power_watts\": " << jsonDouble(p.powerWatts)
+       << ", \"throughput_gops\": " << jsonDouble(p.throughputGops)
+       << "}";
+    return os.str();
 }
 
 namespace {
 
-template <typename Metric>
-size_t
-argmin(const std::vector<DsePoint> &points, Metric metric)
+/**
+ * Minimal strict parser for the flat one-line JSON objects the
+ * journal is made of: string / number / true / false values only, no
+ * nesting. Journals are machine-written, so anything else is a torn
+ * or foreign line and parsing fails.
+ */
+class FlatJsonLine
 {
-    dpu_assert(!points.empty(), "empty design space");
-    size_t best = points.size();
+  public:
+    bool
+    parse(const std::string &line)
+    {
+        const char *p = line.c_str();
+        skipWs(p);
+        if (*p != '{')
+            return false;
+        ++p;
+        skipWs(p);
+        if (*p == '}')
+            return endsClean(p + 1);
+        for (;;) {
+            std::string key, value;
+            if (!parseString(p, key))
+                return false;
+            skipWs(p);
+            if (*p != ':')
+                return false;
+            ++p;
+            skipWs(p);
+            if (*p == '"') {
+                if (!parseString(p, value))
+                    return false;
+            } else {
+                const char *start = p;
+                while (*p && *p != ',' && *p != '}' &&
+                       !std::isspace(static_cast<unsigned char>(*p)))
+                    ++p;
+                value.assign(start, p);
+                if (value.empty())
+                    return false;
+            }
+            fields[key] = value;
+            skipWs(p);
+            if (*p == ',') {
+                ++p;
+                skipWs(p);
+                continue;
+            }
+            if (*p == '}')
+                return endsClean(p + 1);
+            return false;
+        }
+    }
+
+    bool
+    getU64(const std::string &key, uint64_t &out) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return false;
+        const std::string &s = it->second;
+        auto [end, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), out);
+        return ec == std::errc() && end == s.data() + s.size();
+    }
+
+    bool
+    getDouble(const std::string &key, double &out) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return false;
+        const std::string &s = it->second;
+        // from_chars, like the to_chars emitter, is locale-free:
+        // a host locale with ',' decimals must not turn every
+        // fractional journal line into a "torn" reject.
+        double v = 0;
+        auto [end, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), v);
+        if (ec != std::errc() || end != s.data() + s.size() ||
+            !std::isfinite(v))
+            return false;
+        out = v;
+        return true;
+    }
+
+    bool
+    getBool(const std::string &key, bool &out) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end() ||
+            (it->second != "true" && it->second != "false"))
+            return false;
+        out = it->second == "true";
+        return true;
+    }
+
+    bool
+    getString(const std::string &key, std::string &out) const
+    {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+  private:
+    static void
+    skipWs(const char *&p)
+    {
+        while (*p == ' ' || *p == '\t')
+            ++p;
+    }
+
+    static bool
+    parseString(const char *&p, std::string &out)
+    {
+        if (*p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (*p && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (!*p)
+                    return false;
+            }
+            out += *p++;
+        }
+        if (*p != '"')
+            return false;
+        ++p;
+        return true;
+    }
+
+    static bool
+    endsClean(const char *p)
+    {
+        while (*p == ' ' || *p == '\t' || *p == '\r')
+            ++p;
+        return *p == '\0';
+    }
+
+    std::unordered_map<std::string, std::string> fields;
+};
+
+} // namespace
+
+bool
+parseDseJournalPointLine(const std::string &line, size_t &index,
+                         DsePoint &point)
+{
+    FlatJsonLine obj;
+    if (!obj.parse(line))
+        return false;
+    uint64_t idx = 0, depth = 0, banks = 0, regs = 0, cores = 0;
+    DsePoint p;
+    if (!obj.getU64("index", idx) || !obj.getU64("depth", depth) ||
+        !obj.getU64("banks", banks) || !obj.getU64("regs", regs) ||
+        !obj.getU64("cores", cores) ||
+        !obj.getDouble("scale", p.workloadScale) ||
+        !obj.getBool("feasible", p.feasible) ||
+        !obj.getDouble("latency_per_op_ns", p.latencyPerOpNs) ||
+        !obj.getDouble("energy_per_op_pj", p.energyPerOpPj) ||
+        !obj.getDouble("edp_pj_ns", p.edpPjNs) ||
+        !obj.getDouble("area_mm2", p.areaMm2) ||
+        !obj.getDouble("power_watts", p.powerWatts) ||
+        !obj.getDouble("throughput_gops", p.throughputGops))
+        return false;
+    if (depth == 0 || depth > 6 || banks == 0 || regs == 0 ||
+        cores == 0 || banks > UINT32_MAX || regs > UINT32_MAX ||
+        cores > UINT32_MAX)
+        return false;
+    p.cfg.depth = static_cast<uint32_t>(depth);
+    p.cfg.banks = static_cast<uint32_t>(banks);
+    p.cfg.regsPerBank = static_cast<uint32_t>(regs);
+    p.cores = static_cast<uint32_t>(cores);
+    index = static_cast<size_t>(idx);
+    point = p;
+    return true;
+}
+
+bool
+loadDseJournal(const std::string &path, DseJournal &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+
+    FlatJsonLine header;
+    uint64_t version = 0, points = 0;
+    DseJournal j;
+    if (!header.parse(line) || !header.getU64("dse_journal", version) ||
+        version != 1 || !header.getString("space", j.space) ||
+        !header.getU64("points", points))
+        return false;
+    j.gridPoints = static_cast<size_t>(points);
+
+    while (std::getline(in, line)) {
+        size_t index = 0;
+        DsePoint p;
+        // Invalid lines are torn writes from a killed sweep; skip
+        // them — the points they would have carried get recomputed.
+        if (parseDseJournalPointLine(line, index, p))
+            j.entries.emplace_back(index, p);
+    }
+    out = std::move(j);
+    return true;
+}
+
+// ---------------------------------------------------------------- //
+// The sweep engine.                                                //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+/** A journal entry is only reused when its coordinates match the
+ *  grid slot; a mismatch means a corrupted line, and recomputing is
+ *  always safe. */
+bool
+matchesGridPoint(const DsePoint &p, const DseGridPoint &g)
+{
+    return p.cfg.depth == g.cfg.depth && p.cfg.banks == g.cfg.banks &&
+           p.cfg.regsPerBank == g.cfg.regsPerBank &&
+           p.workloadScale == g.scale && p.cores == g.cores;
+}
+
+/** Write `text` to `path` atomically (tmp file + rename), so a kill
+ *  mid-rewrite leaves either the old or the new journal, never a
+ *  half-written one. */
+void
+writeFileAtomically(const std::string &path, const std::string &text)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            dpu_fatal("cannot write DSE journal '" + tmp + "'");
+        out << text;
+        out.flush();
+        if (!out)
+            dpu_fatal("short write to DSE journal '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        dpu_fatal("cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+} // namespace
+
+DseSweepResult
+runDseSweep(const DseSweepOptions &options)
+{
+    const DseOptions &space = options.space;
+    const std::vector<WorkloadSpec> suite =
+        space.suite.empty() ? smallSuite() : space.suite;
+    const std::vector<DseGridPoint> grid = expandDseGrid(space);
+    const std::string signature = dseSpaceSignature(space);
+
+    DseSweepResult result;
+    result.points.resize(grid.size());
+    std::vector<char> have(grid.size(), 0);
+
+    const bool journaling = !options.journalPath.empty();
+    if (options.resume && !journaling)
+        dpu_fatal("DSE resume requires a journal path");
+
+    if (options.resume) {
+        DseJournal journal;
+        if (loadDseJournal(options.journalPath, journal)) {
+            if (journal.space != signature ||
+                journal.gridPoints != grid.size())
+                dpu_fatal("DSE journal '" + options.journalPath +
+                          "' was written for a different sweep "
+                          "(space signature mismatch)");
+            for (const auto &[index, p] : journal.entries) {
+                if (index >= grid.size() ||
+                    !matchesGridPoint(p, grid[index]))
+                    continue;
+                if (!have[index])
+                    ++result.resumedPoints;
+                result.points[index] = p;
+                have[index] = 1;
+            }
+        } else if (std::ifstream(options.journalPath)) {
+            // The path exists but is not a journal (bad header):
+            // refuse, like a signature mismatch — starting fresh
+            // here would overwrite an unrelated file.
+            dpu_fatal("'" + options.journalPath +
+                      "' exists but is not a DSE journal; refusing "
+                      "to overwrite it");
+        }
+        // A missing journal is a fresh start, not an error:
+        // resuming a sweep that never ran just runs it.
+    }
+
+    std::ofstream journal;
+    if (journaling) {
+        // Normalize the journal up front (header + every resumed
+        // point, grid order) so torn tails from a kill are gone
+        // before we start appending.
+        std::ostringstream os;
+        os << dseJournalHeaderLine(signature, grid.size()) << "\n";
+        for (size_t i = 0; i < grid.size(); ++i)
+            if (have[i])
+                os << dseJournalPointLine(i, result.points[i]) << "\n";
+        writeFileAtomically(options.journalPath, os.str());
+        journal.open(options.journalPath, std::ios::app);
+        if (!journal)
+            dpu_fatal("cannot append to DSE journal '" +
+                      options.journalPath + "'");
+    }
+
+    const std::vector<DseShard> shards =
+        planDseShards(grid.size(), options.shards);
+    result.shardReports.resize(shards.size());
+    std::mutex journal_mutex;
+
+    parallelFor(shards.size(), options.threads, [&](size_t s) {
+        auto start = std::chrono::steady_clock::now();
+        DseShardReport report;
+        report.points = shards[s].end - shards[s].begin;
+        for (size_t i = shards[s].begin; i < shards[s].end; ++i) {
+            if (have[i])
+                continue;
+            DseEvalCost cost;
+            // Each slot is written by exactly one shard, so the
+            // grid-order merge needs no synchronization.
+            result.points[i] = evaluateDesign(
+                grid[i].cfg, suite, grid[i].scale, space.seed,
+                grid[i].cores, options.cache, &cost);
+            ++report.evaluated;
+            report.compiles += cost.compiles;
+            report.cacheHits += cost.cacheHits;
+            report.compileSeconds += cost.compileSeconds;
+            if (journaling) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal << dseJournalPointLine(i, result.points[i])
+                        << "\n";
+                journal.flush(); // checkpoint survives a kill
+                if (!journal)
+                    dpu_fatal("failed writing DSE journal '" +
+                              options.journalPath +
+                              "' (disk full?); checkpoints would be "
+                              "silently lost");
+            }
+        }
+        report.seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        result.shardReports[s] = report;
+    });
+
+    if (journaling) {
+        journal.close();
+        // Canonical rewrite: header + all points in grid order. The
+        // final journal is byte-identical for every thread/shard
+        // count and across resume boundaries.
+        std::ostringstream os;
+        os << dseJournalHeaderLine(signature, grid.size()) << "\n";
+        for (size_t i = 0; i < grid.size(); ++i)
+            os << dseJournalPointLine(i, result.points[i]) << "\n";
+        writeFileAtomically(options.journalPath, os.str());
+    }
+    return result;
+}
+
+std::vector<DsePoint>
+exploreDesignSpace(const DseOptions &options)
+{
+    DseSweepOptions sweep;
+    sweep.space = options;
+    return runDseSweep(sweep).points;
+}
+
+// ---------------------------------------------------------------- //
+// Frontier + optima.                                               //
+// ---------------------------------------------------------------- //
+
+bool
+dseDominates(const DsePoint &a, const DsePoint &b)
+{
+    if (!a.feasible || !b.feasible)
+        return false;
+    bool no_worse = a.latencyPerOpNs <= b.latencyPerOpNs &&
+                    a.energyPerOpPj <= b.energyPerOpPj &&
+                    a.areaMm2 <= b.areaMm2;
+    bool better = a.latencyPerOpNs < b.latencyPerOpNs ||
+                  a.energyPerOpPj < b.energyPerOpPj ||
+                  a.areaMm2 < b.areaMm2;
+    return no_worse && better;
+}
+
+std::vector<size_t>
+paretoFrontier(const std::vector<DsePoint> &points)
+{
+    std::vector<size_t> frontier;
     for (size_t i = 0; i < points.size(); ++i) {
         if (!points[i].feasible)
             continue;
-        if (best == points.size() ||
-            metric(points[i]) < metric(points[best])) {
-            best = i;
-        }
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j)
+            dominated = j != i && dseDominates(points[j], points[i]);
+        if (!dominated)
+            frontier.push_back(i);
     }
-    dpu_assert(best != points.size(), "no feasible design point");
+    return frontier;
+}
+
+namespace {
+
+/**
+ * Feasible argmin under a 4-tuple key: the primary metric first,
+ * then the remaining frontier metrics lexicographically. The
+ * tie-break is what keeps the returned index on the Pareto frontier
+ * even when several points share the primary optimum: among ties the
+ * lexicographic minimum cannot be dominated.
+ */
+template <typename Key>
+size_t
+argmin(const std::vector<DsePoint> &points, Key key)
+{
+    size_t best = kDseNpos;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].feasible)
+            continue;
+        if (best == kDseNpos || key(points[i]) < key(points[best]))
+            best = i;
+    }
     return best;
 }
 
@@ -96,21 +749,28 @@ argmin(const std::vector<DsePoint> &points, Metric metric)
 size_t
 minEdpIndex(const std::vector<DsePoint> &points)
 {
-    return argmin(points, [](const DsePoint &p) { return p.edpPjNs; });
+    return argmin(points, [](const DsePoint &p) {
+        return std::make_tuple(p.edpPjNs, p.latencyPerOpNs,
+                               p.energyPerOpPj, p.areaMm2);
+    });
 }
 
 size_t
 minEnergyIndex(const std::vector<DsePoint> &points)
 {
-    return argmin(points,
-                  [](const DsePoint &p) { return p.energyPerOpPj; });
+    return argmin(points, [](const DsePoint &p) {
+        return std::make_tuple(p.energyPerOpPj, p.latencyPerOpNs,
+                               p.edpPjNs, p.areaMm2);
+    });
 }
 
 size_t
 minLatencyIndex(const std::vector<DsePoint> &points)
 {
-    return argmin(points,
-                  [](const DsePoint &p) { return p.latencyPerOpNs; });
+    return argmin(points, [](const DsePoint &p) {
+        return std::make_tuple(p.latencyPerOpNs, p.energyPerOpPj,
+                               p.edpPjNs, p.areaMm2);
+    });
 }
 
 } // namespace dpu

@@ -2,27 +2,54 @@
  * @file
  * Design-space exploration (paper §V, fig. 11/12).
  *
- * Sweeps D in {1,2,3}, B in {8,16,32,64}, R in {16,32,64,128} — 48
- * design points — compiling and simulating every workload of the
- * suite on each, then averages latency/op, energy/op and EDP to find
- * the optima.
+ * The classic sweep runs D in {1,2,3}, B in {8,16,32,64}, R in
+ * {16,32,64,128} — 48 design points — compiling and simulating every
+ * workload of the suite on each and averaging latency/op, energy/op
+ * and EDP. This header grows that into a sharded sweep engine:
+ *
+ *   - expandDseGrid() turns an arbitrary axis grid (depths x banks x
+ *     regs, plus optional workload-scale and model-core-count axes)
+ *     into a deterministic, grid-ordered point list;
+ *   - planDseShards() cuts the grid into contiguous, near-equal
+ *     shards;
+ *   - runDseSweep() executes the shards on a work-stealing pool
+ *     (support/parallel.hh), compiling each point through an optional
+ *     ProgramCache, and merges results in grid order — the returned
+ *     point vector is byte-identical for every thread/shard count
+ *     (pinned by the DseStress suite);
+ *   - completed points are checkpointed to a JSON-lines journal so a
+ *     killed sweep can be resumed (`resume`) without recomputing;
+ *     on completion the journal is rewritten canonically (header +
+ *     grid-order lines), so the final journal is also deterministic;
+ *   - paretoFrontier() exposes the latency/energy/area frontier as a
+ *     first-class API (replacing ad-hoc min-index scans).
  */
 
 #ifndef DPU_MODEL_DSE_HH
 #define DPU_MODEL_DSE_HH
 
+#include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/config.hh"
+#include "compiler/cache.hh"
 #include "model/energy.hh"
 #include "workloads/suite.hh"
 
 namespace dpu {
 
+/** Sentinel returned by the min-index scans when no feasible point
+ *  exists (empty sweep, or every point failed to fit the suite). */
+inline constexpr size_t kDseNpos = static_cast<size_t>(-1);
+
 /** One evaluated design point. */
 struct DsePoint
 {
     ArchConfig cfg;
+    double workloadScale = 1.0; ///< Workload-scale axis value.
+    uint32_t cores = 1;         ///< Model-core-count axis value.
     double latencyPerOpNs = 0;
     double energyPerOpPj = 0;
     double edpPjNs = 0;
@@ -32,26 +59,215 @@ struct DsePoint
     bool feasible = true; ///< False if some workload failed to fit.
 };
 
-/** Sweep options. */
+/** Sweep options: the axis grid plus the evaluation parameters. */
 struct DseOptions
 {
     std::vector<uint32_t> depths{1, 2, 3};
     std::vector<uint32_t> banks{8, 16, 32, 64};
     std::vector<uint32_t> regs{16, 32, 64, 128};
-    double workloadScale = 1.0; ///< Scale factor on workload size.
+
+    /** Optional workload-scale axis; empty = {workloadScale}. */
+    std::vector<double> scales;
+
+    /** Optional model-core-count axis (multi-core batch execution,
+     *  §V-C2); empty = {1}. */
+    std::vector<uint32_t> cores;
+
+    double workloadScale = 1.0; ///< Scale when `scales` is empty.
     uint64_t seed = 1;
+
+    /** Workloads to evaluate; empty = the Table I (a)+(b) suite. */
+    std::vector<WorkloadSpec> suite;
 };
 
-/** Run the sweep over the Table I (a)+(b) suite. */
-std::vector<DsePoint> exploreDesignSpace(const DseOptions &options = {});
+/** One unevaluated grid coordinate, in grid order. */
+struct DseGridPoint
+{
+    ArchConfig cfg;
+    double scale = 1.0;
+    uint32_t cores = 1;
+};
 
-/** Evaluate one configuration over the suite (averaged). */
+/**
+ * Validate the axis values: depth in [1,6], banks a power of two
+ * >= 2, regs >= 2, every (effective) scale > 0, cores >= 1. False
+ * sets `error` (when given) to the first violation. The single
+ * source of the axis rules: expandDseGrid throws FatalError on the
+ * same check, and the dse_sweep CLI uses it to reject junk --axes
+ * values with exit 2 at flag-parse time.
+ */
+bool validateDseAxes(const DseOptions &options,
+                     std::string *error = nullptr);
+
+/**
+ * Expand the axis grid in deterministic grid order: depth-major,
+ * then banks, then regs, then scale, then cores. Combinations with
+ * banks < 2^depth (no full tree) are skipped, matching the classic
+ * sweep. Throws FatalError when validateDseAxes() fails.
+ */
+std::vector<DseGridPoint> expandDseGrid(const DseOptions &options);
+
+/** Printable signature of the swept space (axes + seed + suite);
+ *  stored in the journal header so a resume against a journal from a
+ *  different sweep is rejected instead of silently mixing results. */
+std::string dseSpaceSignature(const DseOptions &options);
+
+/** One contiguous shard of the grid: points [begin, end). */
+struct DseShard
+{
+    size_t begin = 0;
+    size_t end = 0;
+};
+
+/** Cut `points` grid points into at most `shards` contiguous,
+ *  near-equal (sizes differ by at most one) shards. Deterministic;
+ *  never returns an empty shard. */
+std::vector<DseShard> planDseShards(size_t points, uint32_t shards);
+
+/** Compile/cache cost of evaluating one point (reported per shard;
+ *  wall-clock, so deliberately *not* part of DsePoint, which must be
+ *  byte-identical across runs). */
+struct DseEvalCost
+{
+    uint64_t compiles = 0;  ///< compile() calls issued.
+    uint64_t cacheHits = 0; ///< Of which served by the ProgramCache.
+    double compileSeconds = 0;
+};
+
+/**
+ * Evaluate one configuration over the suite (averaged). With
+ * cores > 1 each workload runs a `cores`-input batch on a
+ * BatchMachine, so latency/op reflects multi-core wall cycles.
+ * Marks the point infeasible (instead of throwing) when a workload
+ * fails to fit. `cache`, when given, serves repeated compiles;
+ * `cost`, when given, accumulates compile/cache counters.
+ */
 DsePoint evaluateDesign(const ArchConfig &cfg,
                         const std::vector<WorkloadSpec> &suite,
-                        double scale, uint64_t seed);
+                        double scale, uint64_t seed,
+                        uint32_t cores = 1,
+                        ProgramCache *cache = nullptr,
+                        DseEvalCost *cost = nullptr);
+
+// ---------------------------------------------------------------- //
+// Checkpoint journal (JSON lines).                                 //
+// ---------------------------------------------------------------- //
+
+/** Header line: `{"dse_journal": 1, "space": "...", "points": N}`. */
+std::string dseJournalHeaderLine(const std::string &space,
+                                 size_t points);
+
+/** One completed point as a flat JSON object on a single line.
+ *  Doubles are printed shortest-round-trip, so a parsed point
+ *  re-serializes byte-identically. */
+std::string dseJournalPointLine(size_t index, const DsePoint &point);
+
+/** Inverse of dseJournalPointLine(); false on a malformed line
+ *  (e.g. a torn tail from a killed sweep). */
+bool parseDseJournalPointLine(const std::string &line, size_t &index,
+                              DsePoint &point);
+
+/** A parsed journal: header fields + every valid point line. */
+struct DseJournal
+{
+    std::string space;
+    size_t gridPoints = 0;
+    std::vector<std::pair<size_t, DsePoint>> entries;
+};
+
+/** Parse a journal file. False when the file cannot be read or its
+ *  first line is not a valid header; invalid point lines (torn
+ *  writes) are skipped, not errors. */
+bool loadDseJournal(const std::string &path, DseJournal &out);
+
+// ---------------------------------------------------------------- //
+// The sweep engine.                                                //
+// ---------------------------------------------------------------- //
+
+/** How to run a sweep. */
+struct DseSweepOptions
+{
+    DseOptions space;
+
+    /** Host worker threads executing shards (work stealing). */
+    uint32_t threads = 1;
+
+    /** Shard count; clamped to the grid size. */
+    uint32_t shards = 1;
+
+    /** Checkpoint-journal path; empty = no journaling. */
+    std::string journalPath;
+
+    /** Load completed points from the journal before sweeping.
+     *  Requires journalPath; a missing journal file starts fresh, a
+     *  journal from a different space throws FatalError. */
+    bool resume = false;
+
+    /** Program cache shared by every point compile (nullptr = plain
+     *  compiles). Cache hits cannot change results — cached programs
+     *  are byte-identical to fresh compiles. */
+    ProgramCache *cache = nullptr;
+};
+
+/** Per-shard execution report (wall-clock + cache traffic; the
+ *  nondeterministic companions of the deterministic point vector). */
+struct DseShardReport
+{
+    size_t points = 0;    ///< Grid points in the shard.
+    size_t evaluated = 0; ///< Computed this run (rest resumed).
+    uint64_t compiles = 0;
+    uint64_t cacheHits = 0;
+    double compileSeconds = 0;
+    double seconds = 0; ///< Shard wall time.
+
+    /** Cache hit rate of this shard's compiles. */
+    double
+    hitRate() const
+    {
+        return compiles ? static_cast<double>(cacheHits) /
+                              static_cast<double>(compiles)
+                        : 0.0;
+    }
+};
+
+/** Everything a sweep produces. */
+struct DseSweepResult
+{
+    /** Evaluated points in grid order — byte-identical for every
+     *  thread/shard count and across resume boundaries. */
+    std::vector<DsePoint> points;
+
+    /** One report per planned shard. */
+    std::vector<DseShardReport> shardReports;
+
+    /** Points loaded from the journal instead of recomputed. */
+    size_t resumedPoints = 0;
+};
+
+/** Run a sharded sweep (see the file header for the contract). */
+DseSweepResult runDseSweep(const DseSweepOptions &options);
+
+/** Classic entry point: serial sweep over the Table I (a)+(b)
+ *  suite, no journal. Equivalent to runDseSweep({options}).points. */
+std::vector<DsePoint> exploreDesignSpace(const DseOptions &options = {});
+
+// ---------------------------------------------------------------- //
+// Frontier + optima.                                               //
+// ---------------------------------------------------------------- //
+
+/** True when `a` Pareto-dominates `b` over (latency/op, energy/op,
+ *  area): no worse in all three, strictly better in at least one.
+ *  Infeasible points neither dominate nor are comparable. */
+bool dseDominates(const DsePoint &a, const DsePoint &b);
+
+/** Indices (ascending) of the Pareto frontier over latency/energy/
+ *  area among the feasible points. Empty when nothing is feasible. */
+std::vector<size_t> paretoFrontier(const std::vector<DsePoint> &points);
 
 /** Index of the minimum-EDP / minimum-energy / minimum-latency point
- *  among the feasible points. */
+ *  among the feasible points, or kDseNpos when none is feasible.
+ *  Ties break lexicographically over the remaining metrics, so the
+ *  returned point always lies on the Pareto frontier. */
 size_t minEdpIndex(const std::vector<DsePoint> &points);
 size_t minEnergyIndex(const std::vector<DsePoint> &points);
 size_t minLatencyIndex(const std::vector<DsePoint> &points);

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <string>
+#include <vector>
 
 namespace dpu {
 
@@ -80,6 +82,54 @@ parseFractionArg(const char *s, double &out)
         return false;
     out = v;
     return true;
+}
+
+namespace detail {
+
+/** Split on ',' and parse every element with `parse_one`. Rejects
+ *  empty input, empty elements ("1,,2", trailing commas) and any
+ *  element the element parser rejects. `out` is only written on
+ *  success. */
+template <typename T, typename ParseOne>
+inline bool
+parseListArg(const char *s, std::vector<T> &out, ParseOne parse_one)
+{
+    if (!s || s[0] == '\0')
+        return false;
+    std::vector<T> values;
+    std::string elem;
+    for (const char *p = s;; ++p) {
+        if (*p != ',' && *p != '\0') {
+            elem += *p;
+            continue;
+        }
+        T v{};
+        if (elem.empty() || !parse_one(elem.c_str(), v))
+            return false;
+        values.push_back(v);
+        elem.clear();
+        if (*p == '\0')
+            break;
+    }
+    out = std::move(values);
+    return true;
+}
+
+} // namespace detail
+
+/** Parse a comma-separated list of strict uint32 values ("1,2,3").
+ *  The axis-list form of the sweep CLIs (e.g. dse_sweep --axes). */
+inline bool
+parseUint32ListArg(const char *s, std::vector<uint32_t> &out)
+{
+    return detail::parseListArg<uint32_t>(s, out, parseUint32Arg);
+}
+
+/** Parse a comma-separated list of strict finite doubles. */
+inline bool
+parseDoubleListArg(const char *s, std::vector<double> &out)
+{
+    return detail::parseListArg<double>(s, out, parseDoubleArg);
 }
 
 } // namespace dpu

@@ -1,13 +1,17 @@
 #!/bin/sh
 # CTest smoke test for the CLI exit-code contract:
 #   0 = success, 1 = user error, 2 = invalid option value.
-# Usage: dpuc_smoke.sh <path-to-dpuc> [path-to-serve_latency]
-# The optional second binary gets the serving-bench QoS flag checks
+# Usage: dpuc_smoke.sh <path-to-dpuc> [path-to-dse_sweep] \
+#                      [path-to-serve_latency]
+# The optional second binary gets the DSE driver checks (strict
+# --axes/--shards/--threads validation, journal + resume round); the
+# optional third gets the serving-bench QoS flag checks
 # (--priority-mix/--deadline-us/--queue-depth strict validation).
 set -u
 
-DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc> [path-to-serve_latency]}"
-SERVE="${2:-}"
+DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc> [path-to-dse_sweep] [path-to-serve_latency]}"
+DSE="${2:-}"
+SERVE="${3:-}"
 TMP=$(mktemp -d) || exit 125
 trap 'rm -rf "$TMP"' EXIT
 fails=0
@@ -68,6 +72,57 @@ check 2 "--threads non-numeric" "$DPUC" "$TMP/tiny.dag" --threads=abc
 check 2 "--threads trailing junk" "$DPUC" "$TMP/tiny.dag" --threads=4x
 check 2 "--depth non-numeric" "$DPUC" "$TMP/tiny.dag" --depth=deep
 check 2 "--seed negative" "$DPUC" "$TMP/tiny.dag" --seed=-1
+
+# dse_sweep: strict --axes/--shards/--threads validation (exit 2 on
+# junk values, before any compile starts), --resume preconditions
+# (exit 1), and a real --quick single-point sweep with a journal +
+# resume round (both exit 0, journal non-empty).
+if [ -n "$DSE" ]; then
+    AXES='depth=1;banks=8;regs=16'
+    check 0 "dse_sweep --quick sweep + journal" \
+        "$DSE" --quick --axes="$AXES" --threads=2 --shards=2 \
+        --journal="$TMP/dse.jsonl"
+    [ -s "$TMP/dse.jsonl" ] || {
+        echo "FAIL: dse_sweep wrote no journal"
+        fails=$((fails + 1))
+    }
+    check 0 "dse_sweep --resume reuses the journal" \
+        "$DSE" --quick --axes="$AXES" --journal="$TMP/dse.jsonl" \
+        --resume
+
+    check 2 "dse_sweep unknown axis name" \
+        "$DSE" --quick --axes='bogus=1'
+    check 2 "dse_sweep empty axis list" \
+        "$DSE" --quick --axes='depth='
+    check 2 "dse_sweep non-numeric axis value" \
+        "$DSE" --quick --axes='depth=abc'
+    check 2 "dse_sweep trailing comma in axis list" \
+        "$DSE" --quick --axes='depth=1,'
+    check 2 "dse_sweep non-power-of-two banks" \
+        "$DSE" --quick --axes='banks=12'
+    check 2 "dse_sweep depth out of range" \
+        "$DSE" --quick --axes='depth=9'
+    check 2 "dse_sweep --shards=0" "$DSE" --quick --shards=0
+    check 2 "dse_sweep --shards non-numeric" \
+        "$DSE" --quick --shards=many
+    check 2 "dse_sweep --threads=0" "$DSE" --quick --threads=0
+    check 2 "dse_sweep --scale junk" "$DSE" --quick --scale=big
+
+    check 1 "dse_sweep --resume without --journal" \
+        "$DSE" --quick --resume
+    printf 'not a journal\n' > "$TMP/notes.txt"
+    check 1 "dse_sweep --resume refuses a non-journal file" \
+        "$DSE" --quick --axes="$AXES" --journal="$TMP/notes.txt" \
+        --resume
+    grep -q 'not a journal' "$TMP/notes.txt" || {
+        echo "FAIL: dse_sweep overwrote a non-journal file"
+        fails=$((fails + 1))
+    }
+    check 1 "dse_sweep journal from a different sweep" \
+        "$DSE" --quick --axes='depth=1;banks=16;regs=16' \
+        --journal="$TMP/dse.jsonl" --resume
+    check 1 "dse_sweep unknown flag" "$DSE" --no-such-flag
+fi
 
 # Serving-bench QoS flags: same strict-validation contract (exit 2 on
 # negative/non-numeric/out-of-range values). Rejection happens at flag

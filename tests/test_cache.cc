@@ -74,6 +74,10 @@ TEST(ProgramCache, SecondCompileIsAHit)
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.hits, 1u);
     EXPECT_EQ(cache.size(), 1u);
+    // The derived counters the sweep drivers report per shard.
+    EXPECT_EQ(s.lookups(), 2u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+    EXPECT_DOUBLE_EQ(ProgramCache::Stats{}.hitRate(), 0.0);
 }
 
 TEST(ProgramCache, KeyCoversDagConfigAndOptions)

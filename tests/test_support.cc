@@ -241,6 +241,44 @@ TEST(Cli, ParseUint32RejectsGarbage)
     EXPECT_EQ(v, 7u); // untouched on failure
 }
 
+TEST(Cli, ParseUint32ListSplitsOnCommas)
+{
+    // The dse_sweep --axes value lists ("depth=1,2,3").
+    std::vector<uint32_t> v;
+    EXPECT_TRUE(parseUint32ListArg("8", v));
+    EXPECT_EQ(v, (std::vector<uint32_t>{8}));
+    EXPECT_TRUE(parseUint32ListArg("1,2,3", v));
+    EXPECT_EQ(v, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(Cli, ParseUint32ListRejectsJunkWithoutClobbering)
+{
+    std::vector<uint32_t> v{42};
+    EXPECT_FALSE(parseUint32ListArg("", v));
+    EXPECT_FALSE(parseUint32ListArg(nullptr, v));
+    EXPECT_FALSE(parseUint32ListArg(",", v));
+    EXPECT_FALSE(parseUint32ListArg("1,", v));
+    EXPECT_FALSE(parseUint32ListArg(",1", v));
+    EXPECT_FALSE(parseUint32ListArg("1,,2", v));
+    EXPECT_FALSE(parseUint32ListArg("1,abc", v));
+    EXPECT_FALSE(parseUint32ListArg("1, 2", v));
+    EXPECT_FALSE(parseUint32ListArg("1,-2", v));
+    EXPECT_EQ(v, (std::vector<uint32_t>{42})); // untouched on failure
+}
+
+TEST(Cli, ParseDoubleListParsesAndRejects)
+{
+    std::vector<double> v;
+    EXPECT_TRUE(parseDoubleListArg("0.1,0.25,1e-3", v));
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[0], 0.1);
+    EXPECT_DOUBLE_EQ(v[1], 0.25);
+    EXPECT_DOUBLE_EQ(v[2], 1e-3);
+    EXPECT_FALSE(parseDoubleListArg("0.1,x", v));
+    EXPECT_FALSE(parseDoubleListArg("0.1,", v));
+    EXPECT_FALSE(parseDoubleListArg("", v));
+}
+
 TEST(Cli, ParseUint64CoversTheFullRange)
 {
     uint64_t v = 0;
