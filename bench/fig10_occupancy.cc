@@ -37,7 +37,7 @@ profile(const char *label, const Dag &dag, uint32_t regs_per_bank)
             s.add(v);
         std::printf("%9llu  %9.1f  %8.0f  ",
                     static_cast<unsigned long long>(
-                        sample++ * sopt.traceInterval),
+                        sample++ * res.stats.traceStride),
                     s.mean(), s.max());
         int bars = static_cast<int>(s.mean() / 2);
         for (int i = 0; i < bars; ++i)

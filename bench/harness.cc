@@ -130,12 +130,21 @@ parseOptions(int argc, char **argv, double default_scale)
             o.cacheDir = a + 12;
         } else if (std::strcmp(a, "--no-cache") == 0) {
             o.noCache = true;
+        } else if (std::strncmp(a, "--fidelity=", 11) == 0) {
+            if (!parseFidelityName(a + 11, o.fidelity)) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --fidelity "
+                             "(expected %s)\n",
+                             a + 11, kFidelityChoicesHelp);
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
                          "usage: bench [--scale=<f>] [--full] "
                          "[--quick] [--json=<file>] [--threads=N] "
-                         "[--cache-dir=<dir>] [--no-cache]\n",
+                         "[--cache-dir=<dir>] [--no-cache] "
+                         "[--fidelity=<tier>]\n",
                          a);
             std::exit(1);
         }

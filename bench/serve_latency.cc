@@ -89,7 +89,8 @@ struct ResidentWorkload
 };
 
 AsyncServerConfig
-serverConfig(uint32_t workers, size_t queue_depth = 0)
+serverConfig(uint32_t workers, size_t queue_depth = 0,
+             EvalFidelity fidelity = EvalFidelity::Analytic)
 {
     AsyncServerConfig cfg;
     cfg.cores = 4; // the paper's deployed system
@@ -97,6 +98,7 @@ serverConfig(uint32_t workers, size_t queue_depth = 0)
     cfg.batchWindow = std::chrono::microseconds(200);
     cfg.workers = workers;
     cfg.queueDepth = queue_depth;
+    cfg.admissionFidelity = fidelity;
     return cfg;
 }
 
@@ -230,10 +232,11 @@ openLoopDrive(size_t n_requests, double arrival_rate_hz, uint64_t seed,
  *  accepted (unbounded queue). */
 ModeResult
 runOpenLoop(std::vector<ResidentWorkload> &wl, uint32_t workers,
-            size_t n_requests, double arrival_rate_hz)
+            size_t n_requests, double arrival_rate_hz,
+            EvalFidelity fidelity)
 {
     ModeResult out;
-    AsyncBatchServer server(serverConfig(workers));
+    AsyncBatchServer server(serverConfig(workers, 0, fidelity));
     for (auto &w : wl)
         w.handle = server.addProgram(w.prog);
 
@@ -319,10 +322,17 @@ struct MixedResult
 MixedResult
 runMixedOpenLoop(std::vector<ResidentWorkload> &wl, uint32_t workers,
                  size_t n_requests, double arrival_rate_hz,
-                 const QosFlags &flags, bool qos)
+                 const QosFlags &flags, bool qos,
+                 EvalFidelity fidelity)
 {
     MixedResult out;
-    AsyncBatchServer server(serverConfig(workers, flags.queueDepth));
+    AsyncServerConfig scfg =
+        serverConfig(workers, flags.queueDepth, fidelity);
+    // Under a fast tier the QoS run also gates admission on the
+    // model's service-time prediction (reject what cannot make its
+    // deadline even on an empty server).
+    scfg.predictiveAdmission = qos && fidelity != EvalFidelity::Cycle;
+    AsyncBatchServer server(scfg);
     for (size_t i = 0; i < wl.size(); ++i) {
         QosSpec spec; // default: batch class, shared cores
         if (qos && i == 0) {
@@ -534,8 +544,9 @@ main(int argc, char **argv)
         48, static_cast<size_t>(600.0 * ctx.scale()));
     size_t clients = std::max<size_t>(2, 2 * workers);
 
+    EvalFidelity fidelity = ctx.options().fidelity;
     ModeResult open =
-        runOpenLoop(wl, workers, n_requests, arrival_rate);
+        runOpenLoop(wl, workers, n_requests, arrival_rate, fidelity);
     ModeResult closed =
         runClosedLoop(wl, workers, n_requests, clients);
 
@@ -552,9 +563,11 @@ main(int argc, char **argv)
     double mixed_rate = 2.0 * capacity_rps;
     size_t mixed_requests = std::max<size_t>(n_requests, 400);
     MixedResult mixed_qos = runMixedOpenLoop(
-        wl, workers, mixed_requests, mixed_rate, qflags, true);
+        wl, workers, mixed_requests, mixed_rate, qflags, true,
+        fidelity);
     MixedResult mixed_fifo = runMixedOpenLoop(
-        wl, workers, mixed_requests, mixed_rate, qflags, false);
+        wl, workers, mixed_requests, mixed_rate, qflags, false,
+        fidelity);
 
     TablePrinter t({"mode", "requests", "req/s", "p50 us", "p95 us",
                     "p99 us", "mean batch"});
@@ -572,6 +585,42 @@ main(int argc, char **argv)
     ctx.metric("queue_depth", static_cast<double>(qflags.queueDepth));
     ctx.metric("qos_deadline_dispatches",
                static_cast<double>(mixed_qos.stats.deadlineDispatches));
+
+    // Admission-estimate error: fast-tier predicted vs actual batch
+    // service time, from the open-loop run (the clean, unsaturated
+    // service measurement). Predictions start once the server has
+    // calibrated its cycle->microsecond rate on the first batch.
+    {
+        std::vector<double> predicted_us, actual_us, rel_err;
+        for (const auto &s : open.stats.serviceSamples) {
+            predicted_us.push_back(s.predictedUs);
+            actual_us.push_back(s.actualUs);
+            if (s.actualUs > 0)
+                rel_err.push_back(
+                    std::abs(s.predictedUs - s.actualUs) / s.actualUs);
+        }
+        ctx.series("admission_predicted_service_us", predicted_us);
+        ctx.series("admission_actual_service_us", actual_us);
+        ctx.series("admission_estimate_rel_error", rel_err);
+        double mean_err = 0;
+        for (double e : rel_err)
+            mean_err += e;
+        if (!rel_err.empty())
+            mean_err /= static_cast<double>(rel_err.size());
+        ctx.metric("admission_estimate_mean_rel_error", mean_err);
+        ctx.metric("admission_predictions",
+                   static_cast<double>(open.stats.servicePredictions));
+        ctx.metric("qos_predicted_deadline_rejections",
+                   static_cast<double>(
+                       mixed_qos.stats.predictedDeadlineRejections));
+        ctx.note("fidelity", fidelityName(fidelity));
+        std::printf("\nAdmission estimates (%s tier): %zu samples, "
+                    "mean |rel error| %.3f; predictive rejections "
+                    "%llu.\n",
+                    fidelityName(fidelity), rel_err.size(), mean_err,
+                    static_cast<unsigned long long>(
+                        mixed_qos.stats.predictedDeadlineRejections));
+    }
 
     std::printf("\nOpen loop: %.0f rps offered; batches cut by "
                 "size/window/drain = %llu/%llu/%llu.\n",

@@ -374,6 +374,50 @@ ProgramCache::insert(const Dag &dag, const ArchConfig &cfg,
         storeToDisk(key, *shared);
 }
 
+namespace {
+
+/** Memo key: program key + tier tag + core count. */
+std::string
+evalMemoKey(const std::string &key, uint8_t fidelity, uint32_t cores)
+{
+    return key + "|f" + std::to_string(fidelity) + "|c" +
+           std::to_string(cores);
+}
+
+/** Memo growth bound: far above any sweep's (points x workloads x
+ *  tiers) footprint, small enough that a runaway caller cannot eat
+ *  the heap. */
+constexpr size_t kMaxEvalMemoEntries = 1 << 16;
+
+} // namespace
+
+bool
+ProgramCache::lookupEvalStats(const std::string &key, uint8_t fidelity,
+                              uint32_t cores, SimStats &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = evalMemo.find(evalMemoKey(key, fidelity, cores));
+    // The counters are logically mutable cache bookkeeping.
+    auto &c = const_cast<ProgramCache *>(this)->counters;
+    if (it == evalMemo.end()) {
+        ++c.evalMisses;
+        return false;
+    }
+    ++c.evalHits;
+    out = it->second;
+    return true;
+}
+
+void
+ProgramCache::storeEvalStats(const std::string &key, uint8_t fidelity,
+                             uint32_t cores, const SimStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (evalMemo.size() >= kMaxEvalMemoEntries)
+        return;
+    evalMemo[evalMemoKey(key, fidelity, cores)] = stats;
+}
+
 ProgramCache::Stats
 ProgramCache::stats() const
 {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "compiler/compiler.hh"
+#include "sim/machine.hh"
 
 namespace dpu {
 
@@ -95,6 +96,23 @@ class ProgramCache
                 const CompileOptions &options,
                 const CompiledProgram &prog);
 
+    /**
+     * Memoized per-tier evaluation results. Simulated (or estimated)
+     * event counts are input-value-independent, so a (program key,
+     * fidelity tier, core count) triple pins the SimStats exactly;
+     * the DSE engine uses this to skip re-simulating a design point
+     * it has already evaluated at the same tier. The tier is a plain
+     * numeric tag (EvalFidelity's underlying value) so this layer
+     * stays below model/evaluator.
+     */
+    bool lookupEvalStats(const std::string &key, uint8_t fidelity,
+                         uint32_t cores, SimStats &out) const;
+
+    /** Memoize an evaluation result (bounded; silently drops new
+     *  entries once the memo is full). */
+    void storeEvalStats(const std::string &key, uint8_t fidelity,
+                        uint32_t cores, const SimStats &stats);
+
     /** Aggregate counters since construction. */
     struct Stats
     {
@@ -103,6 +121,8 @@ class ProgramCache
         uint64_t misses = 0;     ///< Full compiles.
         uint64_t evictions = 0;  ///< LRU evictions from memory.
         uint64_t diskWrites = 0; ///< Spill files written.
+        uint64_t evalHits = 0;   ///< Eval-stats memo hits.
+        uint64_t evalMisses = 0; ///< Eval-stats memo misses.
 
         /** Total compile() lookups (hits + diskHits + misses). */
         uint64_t lookups() const { return hits + diskHits + misses; }
@@ -146,6 +166,7 @@ class ProgramCache
     mutable std::mutex mutex;
     std::list<Entry> lru; ///< Front = most recently used.
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, SimStats> evalMemo;
     Stats counters;
 };
 

@@ -1,9 +1,7 @@
 #include "model/dse.hh"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <charconv>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -14,50 +12,16 @@
 #include <mutex>
 #include <sstream>
 #include <tuple>
-#include <unordered_map>
 
 #include "compiler/compiler.hh"
 #include "sim/batch.hh"
 #include "sim/machine.hh"
+#include "support/flatjson.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 
 namespace dpu {
-
-namespace {
-
-/** Shortest round-trip JSON rendering of a double: a parsed journal
- *  line re-serializes byte-identically, which is what makes the
- *  canonical journal deterministic across resume boundaries. */
-std::string
-jsonDouble(double v)
-{
-    if (!std::isfinite(v))
-        return "null"; // JSON has no NaN/Inf; parser treats as torn
-    char buf[64];
-    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-    if (ec != std::errc())
-        return "null";
-    return std::string(buf, end);
-}
-
-/** Escape '"' and '\' (the only characters our emitters can produce
- *  that need it; signatures and labels carry no control chars). */
-std::string
-jsonString(const std::string &s)
-{
-    std::string out = "\"";
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
-} // namespace
 
 // ---------------------------------------------------------------- //
 // Point evaluation.                                                //
@@ -67,13 +31,17 @@ DsePoint
 evaluateDesign(const ArchConfig &cfg,
                const std::vector<WorkloadSpec> &suite, double scale,
                uint64_t seed, uint32_t cores, ProgramCache *cache,
-               DseEvalCost *cost)
+               DseEvalCost *cost, const Evaluator *evaluator)
 {
+    const EvalFidelity fid =
+        evaluator ? evaluator->fidelity() : EvalFidelity::Cycle;
+
     DsePoint point;
     point.cfg = cfg;
     point.workloadScale = scale;
     point.cores = cores;
     point.areaMm2 = areaOf(cfg).total;
+    point.fidelity = fid;
 
     Summary lat, epo, gops, watts;
     for (const WorkloadSpec &spec : suite) {
@@ -86,7 +54,8 @@ evaluateDesign(const ArchConfig &cfg,
                          : compile(dag, cfg, opt);
         } catch (const FatalError &) {
             // Register file too small for this workload: the design
-            // point cannot run the suite.
+            // point cannot run the suite. Tier-independent: the
+            // compile, not the evaluation, makes this call.
             point.feasible = false;
             return point;
         }
@@ -96,18 +65,34 @@ evaluateDesign(const ArchConfig &cfg,
             cost->compileSeconds += prog.stats.compileSeconds;
         }
 
-        Rng rng(seed + spec.seed);
         SimStats stats;
         uint64_t operations = prog.stats.numOperations;
-        if (cores <= 1) {
+
+        // Event counts are input-value-independent, so a (program,
+        // tier, cores) triple pins them exactly and the cache can
+        // memoize across repeated evaluations of the same point.
+        std::string memo_key;
+        bool memoized = false;
+        if (cache) {
+            memo_key = programCacheKey(dag, cfg, opt);
+            memoized = cache->lookupEvalStats(
+                memo_key, static_cast<uint8_t>(fid), cores, stats);
+        }
+        if (!memoized && fid != EvalFidelity::Cycle) {
+            stats = cores <= 1
+                        ? evaluator->estimate(prog)
+                        : evaluator->estimateBatch(prog, cores, cores);
+        } else if (!memoized && cores <= 1) {
+            Rng rng(seed + spec.seed);
             std::vector<double> inputs(dag.numInputs());
             for (double &x : inputs)
                 x = 0.5 + rng.uniform();
             stats = Machine(prog).run(inputs).stats;
-        } else {
+        } else if (!memoized) {
             // Multi-core axis: a `cores`-input batch on a
             // BatchMachine; wall cycles set the latency, the summed
             // event counts set the energy.
+            Rng rng(seed + spec.seed);
             std::vector<std::vector<double>> batch(cores);
             for (auto &inputs : batch) {
                 inputs.resize(dag.numInputs());
@@ -132,8 +117,12 @@ evaluateDesign(const ArchConfig &cfg,
                 stats.peakLiveRegisters = std::max(
                     stats.peakLiveRegisters, s.peakLiveRegisters);
             }
-            operations *= cores;
         }
+        if (cache && !memoized)
+            cache->storeEvalStats(memo_key, static_cast<uint8_t>(fid),
+                                  cores, stats);
+        if (cores > 1)
+            operations *= cores;
         EnergyBreakdown e = energyOf(cfg, stats, operations);
         lat.add(e.latencyPerOpNs());
         epo.add(e.energyPerOpPj());
@@ -303,160 +292,10 @@ dseJournalPointLine(size_t index, const DsePoint &p)
        << ", \"area_mm2\": " << jsonDouble(p.areaMm2)
        << ", \"power_watts\": " << jsonDouble(p.powerWatts)
        << ", \"throughput_gops\": " << jsonDouble(p.throughputGops)
+       << ", \"fidelity\": " << jsonString(fidelityName(p.fidelity))
        << "}";
     return os.str();
 }
-
-namespace {
-
-/**
- * Minimal strict parser for the flat one-line JSON objects the
- * journal is made of: string / number / true / false values only, no
- * nesting. Journals are machine-written, so anything else is a torn
- * or foreign line and parsing fails.
- */
-class FlatJsonLine
-{
-  public:
-    bool
-    parse(const std::string &line)
-    {
-        const char *p = line.c_str();
-        skipWs(p);
-        if (*p != '{')
-            return false;
-        ++p;
-        skipWs(p);
-        if (*p == '}')
-            return endsClean(p + 1);
-        for (;;) {
-            std::string key, value;
-            if (!parseString(p, key))
-                return false;
-            skipWs(p);
-            if (*p != ':')
-                return false;
-            ++p;
-            skipWs(p);
-            if (*p == '"') {
-                if (!parseString(p, value))
-                    return false;
-            } else {
-                const char *start = p;
-                while (*p && *p != ',' && *p != '}' &&
-                       !std::isspace(static_cast<unsigned char>(*p)))
-                    ++p;
-                value.assign(start, p);
-                if (value.empty())
-                    return false;
-            }
-            fields[key] = value;
-            skipWs(p);
-            if (*p == ',') {
-                ++p;
-                skipWs(p);
-                continue;
-            }
-            if (*p == '}')
-                return endsClean(p + 1);
-            return false;
-        }
-    }
-
-    bool
-    getU64(const std::string &key, uint64_t &out) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end())
-            return false;
-        const std::string &s = it->second;
-        auto [end, ec] =
-            std::from_chars(s.data(), s.data() + s.size(), out);
-        return ec == std::errc() && end == s.data() + s.size();
-    }
-
-    bool
-    getDouble(const std::string &key, double &out) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end())
-            return false;
-        const std::string &s = it->second;
-        // from_chars, like the to_chars emitter, is locale-free:
-        // a host locale with ',' decimals must not turn every
-        // fractional journal line into a "torn" reject.
-        double v = 0;
-        auto [end, ec] =
-            std::from_chars(s.data(), s.data() + s.size(), v);
-        if (ec != std::errc() || end != s.data() + s.size() ||
-            !std::isfinite(v))
-            return false;
-        out = v;
-        return true;
-    }
-
-    bool
-    getBool(const std::string &key, bool &out) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end() ||
-            (it->second != "true" && it->second != "false"))
-            return false;
-        out = it->second == "true";
-        return true;
-    }
-
-    bool
-    getString(const std::string &key, std::string &out) const
-    {
-        auto it = fields.find(key);
-        if (it == fields.end())
-            return false;
-        out = it->second;
-        return true;
-    }
-
-  private:
-    static void
-    skipWs(const char *&p)
-    {
-        while (*p == ' ' || *p == '\t')
-            ++p;
-    }
-
-    static bool
-    parseString(const char *&p, std::string &out)
-    {
-        if (*p != '"')
-            return false;
-        ++p;
-        out.clear();
-        while (*p && *p != '"') {
-            if (*p == '\\') {
-                ++p;
-                if (!*p)
-                    return false;
-            }
-            out += *p++;
-        }
-        if (*p != '"')
-            return false;
-        ++p;
-        return true;
-    }
-
-    static bool
-    endsClean(const char *p)
-    {
-        while (*p == ' ' || *p == '\t' || *p == '\r')
-            ++p;
-        return *p == '\0';
-    }
-
-    std::unordered_map<std::string, std::string> fields;
-};
-
-} // namespace
 
 bool
 parseDseJournalPointLine(const std::string &line, size_t &index,
@@ -479,6 +318,16 @@ parseDseJournalPointLine(const std::string &line, size_t &index,
         !obj.getDouble("power_watts", p.powerWatts) ||
         !obj.getDouble("throughput_gops", p.throughputGops))
         return false;
+    // Journals written before the tiered evaluator carry no fidelity
+    // field: those lines are cycle-accurate by construction, so the
+    // absent field reads as Cycle. A *present but unknown* tier name
+    // is a torn/foreign line, not a default.
+    if (obj.has("fidelity")) {
+        std::string name;
+        if (!obj.getString("fidelity", name) ||
+            !parseFidelityName(name.c_str(), p.fidelity))
+            return false;
+    }
     if (depth == 0 || depth > 6 || banks == 0 || regs == 0 ||
         cores == 0 || banks > UINT32_MAX || regs > UINT32_MAX ||
         cores > UINT32_MAX)
@@ -570,10 +419,37 @@ runDseSweep(const DseSweepOptions &options)
         space.suite.empty() ? smallSuite() : space.suite;
     const std::vector<DseGridPoint> grid = expandDseGrid(space);
     const std::string signature = dseSpaceSignature(space);
+    const EvalFidelity fid = options.fidelity;
+
+    if (options.refine && fid == EvalFidelity::Cycle)
+        dpu_fatal("DSE refinement sweeps coarse with a fast tier "
+                  "first; --fidelity=cycle leaves nothing to refine "
+                  "(drop refinement or pick table/analytic)");
+    const double refine_err = options.refineErrorBound >= 0
+                                  ? options.refineErrorBound
+                                  : dseDefaultRefineError(fid);
+    if (options.refine && refine_err >= 1.0)
+        dpu_fatal("DSE refinement error bound must be < 1 (a relative "
+                  "energy error that large leaves no interval to "
+                  "decide with)");
+
+    const Evaluator evaluator = options.table
+                                    ? Evaluator(fid, *options.table)
+                                    : Evaluator(fid);
+    const Evaluator cycle_evaluator{EvalFidelity::Cycle};
 
     DseSweepResult result;
     result.points.resize(grid.size());
     std::vector<char> have(grid.size(), 0);
+
+    // Cycle-tier journal entries held back for the refinement phase:
+    // phase 1 always works with fast-tier values (so the survivor
+    // selection is identical with or without a resume), but a
+    // survivor whose cycle re-evaluation is already journaled is not
+    // recomputed.
+    std::vector<char> have_cycle(grid.size(), 0);
+    std::vector<DsePoint> cycle_resume(
+        options.refine ? grid.size() : 0);
 
     const bool journaling = !options.journalPath.empty();
     if (options.resume && !journaling)
@@ -591,10 +467,18 @@ runDseSweep(const DseSweepOptions &options)
                 if (index >= grid.size() ||
                     !matchesGridPoint(p, grid[index]))
                     continue;
-                if (!have[index])
-                    ++result.resumedPoints;
-                result.points[index] = p;
-                have[index] = 1;
+                if (p.fidelity == fid) {
+                    if (!have[index])
+                        ++result.resumedPoints;
+                    result.points[index] = p;
+                    have[index] = 1;
+                } else if (options.refine &&
+                           p.fidelity == EvalFidelity::Cycle) {
+                    cycle_resume[index] = p;
+                    have_cycle[index] = 1;
+                }
+                // Entries at any other tier belong to a different
+                // run mode; recomputing is always safe.
             }
         } else if (std::ifstream(options.journalPath)) {
             // The path exists but is not a journal (bad header):
@@ -615,9 +499,15 @@ runDseSweep(const DseSweepOptions &options)
         // before we start appending.
         std::ostringstream os;
         os << dseJournalHeaderLine(signature, grid.size()) << "\n";
-        for (size_t i = 0; i < grid.size(); ++i)
+        for (size_t i = 0; i < grid.size(); ++i) {
             if (have[i])
                 os << dseJournalPointLine(i, result.points[i]) << "\n";
+            // Keep resumed cycle refinements too: if this run is
+            // killed before its own refinement phase re-appends
+            // them, the next resume can still reuse them.
+            if (i < have_cycle.size() && have_cycle[i])
+                os << dseJournalPointLine(i, cycle_resume[i]) << "\n";
+        }
         writeFileAtomically(options.journalPath, os.str());
         journal.open(options.journalPath, std::ios::app);
         if (!journal)
@@ -642,7 +532,7 @@ runDseSweep(const DseSweepOptions &options)
             // grid-order merge needs no synchronization.
             result.points[i] = evaluateDesign(
                 grid[i].cfg, suite, grid[i].scale, space.seed,
-                grid[i].cores, options.cache, &cost);
+                grid[i].cores, options.cache, &cost, &evaluator);
             ++report.evaluated;
             report.compiles += cost.compiles;
             report.cacheHits += cost.cacheHits;
@@ -664,6 +554,53 @@ runDseSweep(const DseSweepOptions &options)
                              .count();
         result.shardReports[s] = report;
     });
+
+    size_t phase1_evaluated = 0;
+    for (const DseShardReport &r : result.shardReports)
+        phase1_evaluated += r.evaluated;
+    if (fid == EvalFidelity::Cycle)
+        result.cycleEvaluatedPoints += phase1_evaluated;
+    else
+        result.fastEvaluatedPoints += phase1_evaluated;
+
+    if (options.refine) {
+        // Phase 2: cycle re-evaluation of the Pareto neighborhood.
+        // The survivor set is computed from the (deterministic)
+        // fast-tier points, so it is identical for every thread /
+        // shard count and across resume boundaries.
+        std::vector<size_t> survivors =
+            dseRefineSurvivors(result.points, refine_err);
+        result.refineSurvivors = survivors.size();
+        std::atomic<size_t> cycle_evals{0};
+        std::atomic<size_t> cycle_resumed{0};
+        parallelFor(survivors.size(), options.threads, [&](size_t k) {
+            size_t i = survivors[k];
+            if (have_cycle[i]) {
+                result.points[i] = cycle_resume[i];
+                ++cycle_resumed;
+            } else {
+                DseEvalCost cost;
+                result.points[i] = evaluateDesign(
+                    grid[i].cfg, suite, grid[i].scale, space.seed,
+                    grid[i].cores, options.cache, &cost,
+                    &cycle_evaluator);
+                ++cycle_evals;
+            }
+            if (journaling) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal << dseJournalPointLine(i, result.points[i])
+                        << "\n";
+                journal.flush();
+                if (!journal)
+                    dpu_fatal("failed writing DSE journal '" +
+                              options.journalPath +
+                              "' (disk full?); checkpoints would be "
+                              "silently lost");
+            }
+        });
+        result.cycleEvaluatedPoints += cycle_evals;
+        result.resumedPoints += cycle_resumed;
+    }
 
     if (journaling) {
         journal.close();
@@ -703,6 +640,67 @@ dseDominates(const DsePoint &a, const DsePoint &b)
                   a.energyPerOpPj < b.energyPerOpPj ||
                   a.areaMm2 < b.areaMm2;
     return no_worse && better;
+}
+
+bool
+dseMaybeDominates(const DsePoint &a, const DsePoint &b, double err)
+{
+    if (!a.feasible || !b.feasible)
+        return false;
+    if (a.latencyPerOpNs > b.latencyPerOpNs || a.areaMm2 > b.areaMm2)
+        return false;
+    // Best case for a: its energy at the interval floor, b's at the
+    // ceiling. The strictness clause matters only for exact ties in
+    // all three metrics (then no energy assignment dominates).
+    double a_lo = a.energyPerOpPj / (1.0 + err);
+    double b_hi = b.energyPerOpPj / (1.0 - err);
+    if (a_lo > b_hi)
+        return false;
+    return a.latencyPerOpNs < b.latencyPerOpNs ||
+           a.areaMm2 < b.areaMm2 || a_lo < b_hi;
+}
+
+bool
+dseCertainlyDominates(const DsePoint &a, const DsePoint &b, double err)
+{
+    if (!a.feasible || !b.feasible)
+        return false;
+    if (a.latencyPerOpNs > b.latencyPerOpNs || a.areaMm2 > b.areaMm2)
+        return false;
+    // Worst case for a: its energy at the interval ceiling, b's at
+    // the floor. a_hi <= b_lo is a.energy <= (1-m) * b.energy with
+    // m = 2*err/(1+err).
+    double a_hi = a.energyPerOpPj / (1.0 - err);
+    double b_lo = b.energyPerOpPj / (1.0 + err);
+    if (a_hi > b_lo)
+        return false;
+    return a.latencyPerOpNs < b.latencyPerOpNs ||
+           a.areaMm2 < b.areaMm2 || a_hi < b_lo;
+}
+
+std::vector<size_t>
+dseRefineSurvivors(const std::vector<DsePoint> &points, double err)
+{
+    // A pair the intervals cannot decide contaminates both ends:
+    // resolving b's membership needs the true energy of every a that
+    // might dominate it, and vice versa.
+    std::vector<uint8_t> uncertain(points.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i)
+        for (size_t j = 0; j < points.size(); ++j)
+            if (i != j && dseMaybeDominates(points[i], points[j], err) &&
+                !dseCertainlyDominates(points[i], points[j], err))
+                uncertain[i] = uncertain[j] = 1;
+    std::vector<size_t> survivors;
+    for (size_t i = 0; i < points.size(); ++i)
+        if (uncertain[i])
+            survivors.push_back(i);
+    return survivors;
+}
+
+double
+dseDefaultRefineError(EvalFidelity fidelity)
+{
+    return evalErrorBounds(fidelity).energyRel;
 }
 
 std::vector<size_t>

@@ -9,6 +9,35 @@
 
 namespace dpu {
 
+namespace {
+
+/** Cap on recorded predicted-vs-actual service samples: enough for a
+ *  bench run's error series without growing for server lifetime. */
+constexpr size_t kMaxServiceSamples = 1024;
+
+} // namespace
+
+bool
+AsyncBatchServer::fastPredictions() const
+{
+    // Cycle "fidelity" for admission means: don't predict — the only
+    // cycle-accurate service measurement is running the batch, which
+    // is exactly the pre-tier behavior.
+    return config.admissionFidelity != EvalFidelity::Cycle;
+}
+
+double
+AsyncBatchServer::predictedServiceUsLocked(const Resident &r,
+                                           uint64_t runs,
+                                           uint32_t cores) const
+{
+    if (!fastPredictions() || counters.usPerKilocycle <= 0 ||
+        runs == 0 || cores == 0)
+        return 0; // Uncalibrated (or degenerate): predictions inert.
+    uint64_t wall = Evaluator::batchWallCycles(r.prog, runs, cores);
+    return counters.usPerKilocycle * (double(wall) / 1000.0);
+}
+
 AsyncBatchServer::AsyncBatchServer(AsyncServerConfig config_)
     : config(config_)
 {
@@ -197,6 +226,24 @@ AsyncBatchServer::trySubmit(ProgramHandle handle,
             out.admission = Admission::RejectedDeadline;
             return out;
         }
+        if (has_deadline && config.predictiveAdmission &&
+            fastPredictions()) {
+            // Dead-on-arrival by prediction: even a lone-request
+            // batch dispatched immediately would finish past the
+            // deadline. The static wall-cycle count is exact; only
+            // the us-per-kilocycle calibration is an estimate.
+            double predicted_us = predictedServiceUsLocked(r, 1, 1);
+            ++counters.admissionPredictions;
+            if (predicted_us > 0 &&
+                now + std::chrono::microseconds(
+                          static_cast<int64_t>(predicted_us)) >
+                    deadline) {
+                ++cs.rejectedDeadline;
+                ++counters.predictedDeadlineRejections;
+                out.admission = Admission::RejectedDeadline;
+                return out;
+            }
+        }
 
         Request rq;
         rq.input = std::move(input);
@@ -325,9 +372,24 @@ AsyncBatchServer::batcherMain()
                     }
                 }
                 if (have_deadline) {
+                    // Deadline lead: the historical per-program EWMA,
+                    // raised to the fast-tier model prediction for
+                    // the batch this queue would cut right now. The
+                    // model covers what history cannot — a pending
+                    // batch shaped unlike anything served yet.
+                    int64_t lead_us = r.ewmaBatchUs;
+                    if (fastPredictions()) {
+                        double predicted = predictedServiceUsLocked(
+                            r, queue.size(),
+                            std::min<uint32_t>(
+                                config.cores,
+                                static_cast<uint32_t>(queue.size())));
+                        lead_us = std::max(
+                            lead_us, static_cast<int64_t>(predicted));
+                    }
                     Clock::time_point deadline_cut =
                         min_deadline -
-                        std::chrono::microseconds(r.ewmaBatchUs);
+                        std::chrono::microseconds(lead_us);
                     if (deadline_cut < cut_at) {
                         cut_at = deadline_cut;
                         deadline_driven = true;
@@ -451,6 +513,16 @@ AsyncBatchServer::workerMain()
         Resident *resident = batch.resident;
         const CompiledProgram &prog = resident->prog;
         uint64_t operations = resident->operations;
+        // Predict this batch's service time with the calibration as
+        // of dispatch: the predicted-vs-actual pair is the
+        // measurable record of admission-estimate error.
+        double predicted_us = 0;
+        if (fastPredictions()) {
+            predicted_us = predictedServiceUsLocked(
+                *resident, batch.requests.size(),
+                static_cast<uint32_t>(granted.count()));
+            ++counters.servicePredictions;
+        }
         lock.unlock();
 
         std::vector<std::vector<double>> inputs;
@@ -494,6 +566,22 @@ AsyncBatchServer::workerMain()
                 : service_us;
             counters.modeledWallCycles += br.wallCycles;
             counters.totalOperations += br.totalOperations;
+            if (br.wallCycles > 0) {
+                // Calibrate the model-cycle -> wall-microsecond rate
+                // that turns fast-tier cycle estimates into time
+                // predictions. Server-wide: the rate is a property of
+                // the host, not of any one resident program.
+                double ratio = double(service_us)
+                    / (double(br.wallCycles) / 1000.0);
+                counters.usPerKilocycle = counters.usPerKilocycle > 0
+                    ? (3.0 * counters.usPerKilocycle + ratio) / 4.0
+                    : ratio;
+            }
+            if (predicted_us > 0 &&
+                counters.serviceSamples.size() < kMaxServiceSamples)
+                counters.serviceSamples.push_back(
+                    {predicted_us, double(service_us), br.wallCycles,
+                     batch.requests.size()});
         }
         for (const Request &rq : batch.requests) {
             ClassStats &cs =

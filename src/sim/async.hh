@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "compiler/cache.hh"
+#include "model/evaluator.hh"
 #include "sim/batch.hh"
 
 namespace dpu {
@@ -163,6 +164,26 @@ struct AsyncServerConfig
      *  unbounded (the pre-QoS behavior). Beyond it, trySubmit()
      *  returns RejectedQueueFull (backpressure). */
     size_t queueDepth = 0;
+
+    /**
+     * Evaluation tier backing the server's service-time predictions
+     * (admission control and deadline-lead estimates). A fast tier
+     * turns on static wall-cycle predictions, calibrated against
+     * observed batch service times (a us-per-kilocycle EWMA);
+     * Cycle disables them — historical per-program EWMAs only, the
+     * pre-tier behavior.
+     */
+    EvalFidelity admissionFidelity = EvalFidelity::Analytic;
+
+    /**
+     * Reject a deadlined request at admission when the fast-tier
+     * predicted service time already exceeds its deadline slack
+     * (RejectedDeadline before any queueing). Off by default: the
+     * prediction is an estimate, and rejecting on it is a policy the
+     * caller must opt into. No effect when admissionFidelity is
+     * Cycle or the calibration has not seen a batch yet.
+     */
+    bool predictiveAdmission = false;
 };
 
 /**
@@ -282,6 +303,30 @@ class AsyncBatchServer
         uint64_t modeledWallCycles = 0; ///< Summed over batches.
         uint64_t totalOperations = 0;   ///< Summed over batches.
 
+        uint64_t servicePredictions = 0; ///< Fast-tier predictions made.
+        uint64_t admissionPredictions = 0; ///< Consulted at admission.
+        uint64_t predictedDeadlineRejections = 0; ///< Rejected on one.
+
+        /** Current us-per-kilocycle calibration (EWMA of observed
+         *  batch service time over modeled wall kilocycles); 0 until
+         *  the first successful batch. */
+        double usPerKilocycle = 0;
+
+        /** One fast-tier service prediction vs. what the batch then
+         *  actually took. predictedUs is 0 while uncalibrated. */
+        struct ServiceSample
+        {
+            double predictedUs = 0;
+            double actualUs = 0;
+            uint64_t wallCycles = 0;
+            uint64_t batchSize = 0;
+        };
+
+        /** Dispatch-order samples (bounded; recording stops at the
+         *  cap). The measurable record of admission-estimate error —
+         *  serve_latency turns it into a bench series. */
+        std::vector<ServiceSample> serviceSamples;
+
         /** Indexed by static_cast<size_t>(Priority). */
         std::array<ClassStats, kNumPriorities> perClass{};
 
@@ -366,6 +411,15 @@ class AsyncBatchServer
 
     /** Inverse of acquireCoresLocked(). Lock held. */
     void releaseCoresLocked(const CoreSet &granted);
+
+    /** True when the config enables fast-tier service predictions. */
+    bool fastPredictions() const;
+
+    /** Fast-tier predicted service time (us) of a `runs` x `cores`
+     *  batch of `r`'s program; 0 while uncalibrated or when
+     *  predictions are disabled. Lock held. */
+    double predictedServiceUsLocked(const Resident &r, uint64_t runs,
+                                    uint32_t cores) const;
 
     AsyncServerConfig config;
 

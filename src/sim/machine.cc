@@ -34,6 +34,11 @@ class Engine
     {
         initMemory(inputs);
         banks.assign(cfg.banks, std::vector<Reg>(cfg.regsPerBank));
+        // A zero interval would mean "sample every cycle modulo
+        // nothing" — treat it as 1 instead of dividing by zero.
+        stats.traceStride = opts.traceOccupancy
+                                ? std::max<uint64_t>(opts.traceInterval, 1)
+                                : 0;
 
         for (now = 0; now < prog.instructions.size(); ++now)
             issue(prog.instructions[now]);
@@ -107,7 +112,7 @@ class Engine
     void
     sampleOccupancy()
     {
-        if (!opts.traceOccupancy || now % opts.traceInterval)
+        if (!opts.traceOccupancy || now % stats.traceStride)
             return;
         std::vector<uint32_t> row(cfg.banks);
         for (uint32_t b = 0; b < cfg.banks; ++b) {
@@ -117,6 +122,19 @@ class Engine
             row[b] = live;
         }
         stats.occupancyTrace.push_back(std::move(row));
+        if (opts.maxTraceSamples &&
+            stats.occupancyTrace.size() >= opts.maxTraceSamples) {
+            // Stride-doubling decimation: drop the odd-index rows
+            // and sample half as often from here on, so a run of any
+            // length keeps a whole-run trace within the bound
+            // (instead of the trace growing without limit, or
+            // truncation losing the tail).
+            auto &trace = stats.occupancyTrace;
+            for (size_t i = 1; 2 * i < trace.size(); ++i)
+                trace[i] = std::move(trace[2 * i]);
+            trace.resize((trace.size() + 1) / 2);
+            stats.traceStride *= 2;
+        }
     }
 
     void

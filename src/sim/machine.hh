@@ -48,9 +48,16 @@ struct SimStats
     /** Peak over cycles of total live registers. */
     uint64_t peakLiveRegisters = 0;
 
-    /** Per-bank occupancy trace, sampled every `traceInterval` cycles
-     *  when tracing is enabled (fig. 10(c,d)). */
+    /** Per-bank occupancy trace, sampled every `traceStride` cycles
+     *  when tracing is enabled (fig. 10(c,d)); bounded by
+     *  SimOptions::maxTraceSamples via stride-doubling decimation. */
     std::vector<std::vector<uint32_t>> occupancyTrace;
+
+    /** Effective sampling stride of occupancyTrace, in cycles:
+     *  starts at SimOptions::traceInterval and doubles on every
+     *  decimation. 0 when tracing was off. Sample i was taken at
+     *  cycle i * traceStride. */
+    uint64_t traceStride = 0;
 };
 
 /** Simulation options. */
@@ -58,6 +65,12 @@ struct SimOptions
 {
     bool traceOccupancy = false;
     uint32_t traceInterval = 16;
+
+    /** Upper bound on occupancyTrace rows. When the trace fills up,
+     *  every other row is dropped and the sampling stride doubles,
+     *  so arbitrarily long runs keep a whole-run trace in bounded
+     *  memory. 0 = unbounded (the historical behavior). */
+    uint32_t maxTraceSamples = 4096;
 };
 
 /** Result of a run: per-node output values, in program.outputs order. */

@@ -132,6 +132,26 @@ parseDoubleListArg(const char *s, std::vector<double> &out)
     return detail::parseListArg<double>(s, out, parseDoubleArg);
 }
 
+/** Match `s` against a closed set of choice names (exact,
+ *  case-sensitive). On success `index` is the matched position.
+ *  Enum-valued flags (e.g. --fidelity=) route through this so every
+ *  CLI rejects unknown names the same way instead of each driver
+ *  growing its own string compare chain. */
+inline bool
+parseChoiceArg(const char *s, const std::vector<std::string> &choices,
+               size_t &index)
+{
+    if (!s || s[0] == '\0')
+        return false;
+    for (size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i] == s) {
+            index = i;
+            return true;
+        }
+    }
+    return false;
+}
+
 } // namespace dpu
 
 #endif // DPU_SUPPORT_CLI_HH

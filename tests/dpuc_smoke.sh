@@ -108,6 +108,28 @@ if [ -n "$DSE" ]; then
     check 2 "dse_sweep --threads=0" "$DSE" --quick --threads=0
     check 2 "dse_sweep --scale junk" "$DSE" --quick --scale=big
 
+    # Evaluation-fidelity tiers: every valid tier name is accepted,
+    # anything else is an invalid option value (exit 2), and --refine
+    # without a fast tier is a usage error (exit 1).
+    check 0 "dse_sweep --fidelity=cycle" \
+        "$DSE" --quick --axes="$AXES" --fidelity=cycle
+    check 0 "dse_sweep --fidelity=table" \
+        "$DSE" --quick --axes="$AXES" --fidelity=table
+    check 0 "dse_sweep --fidelity=analytic" \
+        "$DSE" --quick --axes="$AXES" --fidelity=analytic
+    check 0 "dse_sweep --fidelity=analytic --refine" \
+        "$DSE" --quick --axes="$AXES" --fidelity=analytic --refine
+    check 2 "dse_sweep --fidelity unknown tier" \
+        "$DSE" --quick --fidelity=bogus
+    check 2 "dse_sweep --fidelity empty" \
+        "$DSE" --quick --fidelity=
+    check 2 "dse_sweep --fidelity case-sensitive" \
+        "$DSE" --quick --fidelity=Cycle
+    check 2 "dse_sweep --refine-error out of range" \
+        "$DSE" --quick --fidelity=table --refine --refine-error=1.0
+    check 1 "dse_sweep --refine with cycle fidelity" \
+        "$DSE" --quick --refine
+
     check 1 "dse_sweep --resume without --journal" \
         "$DSE" --quick --resume
     printf 'not a journal\n' > "$TMP/notes.txt"
@@ -146,6 +168,10 @@ if [ -n "$SERVE" ]; then
         "$SERVE" --quick --queue-depth=deep
     check 2 "serve --queue-depth trailing junk" \
         "$SERVE" --quick --queue-depth=64x
+    check 2 "serve --fidelity unknown tier" \
+        "$SERVE" --quick --fidelity=bogus
+    check 2 "serve --fidelity empty" \
+        "$SERVE" --quick --fidelity=
     check 1 "serve unknown flag still exit 1" \
         "$SERVE" --quick --no-such-flag
 fi

@@ -572,5 +572,127 @@ TEST(AsyncServer, PerRequestDeadlineDefaultsFromProgramQos)
     EXPECT_EQ(s.deadlineDispatches, 1u);
 }
 
+TEST(AsyncServer, FastTierCalibratesServicePredictions)
+{
+    // Default admission fidelity is Analytic: every dispatched batch
+    // makes a static wall-cycle prediction, and observed service
+    // times feed the server-wide us-per-kilocycle EWMA. The first
+    // batch runs uncalibrated (prediction 0, not recorded); later
+    // batches record predicted-vs-actual samples.
+    Dag d = generateRandomDag(12, 300, 95);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 6, 96);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.batchWindow = std::chrono::microseconds(50);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    // Serialize the batches so calibration from batch k is visible
+    // at batch k+1's dispatch.
+    for (size_t k = 0; k + 1 < inputs.size(); k += 2) {
+        auto f0 = server.submit(h, inputs[k]);
+        auto f1 = server.submit(h, inputs[k + 1]);
+        f0.get();
+        f1.get();
+    }
+
+    auto s = server.stats();
+    EXPECT_GE(s.batches, 3u);
+    EXPECT_EQ(s.servicePredictions, s.batches);
+    EXPECT_GT(s.usPerKilocycle, 0.0);
+    // All but the uncalibrated first dispatch leave a sample.
+    ASSERT_GE(s.serviceSamples.size(), 1u);
+    EXPECT_LE(s.serviceSamples.size(), s.batches - 1);
+    for (const auto &sample : s.serviceSamples) {
+        EXPECT_GT(sample.predictedUs, 0.0);
+        EXPECT_GT(sample.wallCycles, 0u);
+        EXPECT_GE(sample.batchSize, 1u);
+        EXPECT_LE(sample.batchSize, cfg.maxBatch);
+    }
+}
+
+TEST(AsyncServer, CycleAdmissionFidelityDisablesPredictions)
+{
+    // admissionFidelity = Cycle is the pre-tier behavior: no static
+    // predictions, no calibration samples, predictiveAdmission inert.
+    Dag d = generateRandomDag(12, 300, 97);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 4, 98);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.admissionFidelity = EvalFidelity::Cycle;
+    cfg.predictiveAdmission = true; // must have no effect
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    SubmitOptions opt;
+    opt.deadline = std::chrono::seconds(10);
+    for (const auto &in : inputs) {
+        auto r = server.trySubmit(h, in, opt);
+        ASSERT_TRUE(r.accepted());
+        r.future.get();
+    }
+
+    auto s = server.stats();
+    EXPECT_EQ(s.servicePredictions, 0u);
+    EXPECT_EQ(s.admissionPredictions, 0u);
+    EXPECT_EQ(s.predictedDeadlineRejections, 0u);
+    EXPECT_TRUE(s.serviceSamples.empty());
+    // The EWMA still calibrates (it is an observation, not a
+    // prediction) so flipping fidelity later starts warm.
+    EXPECT_GT(s.usPerKilocycle, 0.0);
+}
+
+TEST(AsyncServer, PredictiveAdmissionRejectsDoomedDeadlines)
+{
+    // Once calibrated, a deadlined request whose predicted lone-run
+    // service time already exceeds its slack is rejected at
+    // admission (RejectedDeadline before any queueing) — but only
+    // under predictiveAdmission, and never while uncalibrated.
+    Dag d = generateRandomDag(14, 600, 99);
+    auto prog = compile(d, smallConfig());
+    auto inputs = makeInputs(d, 3, 100);
+
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 1;
+    cfg.predictiveAdmission = true;
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    // Uncalibrated: even an absurd 1us deadline passes the
+    // predictive gate (prediction 0 = "no idea"), so admission falls
+    // through to the plain past-deadline check, which it meets.
+    SubmitOptions tight;
+    tight.deadline = std::chrono::microseconds(1);
+    auto r0 = server.trySubmit(h, inputs[0], tight);
+    EXPECT_EQ(server.stats().predictedDeadlineRejections, 0u);
+    if (r0.accepted())
+        r0.future.get();
+
+    // Calibrate with a couple of normal runs.
+    for (size_t k = 1; k < inputs.size(); ++k)
+        server.submit(h, inputs[k]).get();
+    ASSERT_GT(server.stats().usPerKilocycle, 0.0);
+
+    // Now the same hopeless deadline is rejected by prediction.
+    auto r1 = server.trySubmit(h, inputs[0], tight);
+    EXPECT_EQ(r1.admission, Admission::RejectedDeadline);
+    EXPECT_FALSE(r1.future.valid());
+    auto s = server.stats();
+    EXPECT_EQ(s.predictedDeadlineRejections, 1u);
+    EXPECT_GE(s.admissionPredictions, 1u);
+
+    // A generous deadline sails through the same gate.
+    SubmitOptions fine;
+    fine.deadline = std::chrono::seconds(10);
+    auto r2 = server.trySubmit(h, inputs[0], fine);
+    ASSERT_TRUE(r2.accepted());
+    expectIdentical(r2.future.get(), Machine(prog).run(inputs[0]));
+    EXPECT_EQ(server.stats().predictedDeadlineRejections, 1u);
+}
+
 } // namespace
 } // namespace dpu

@@ -286,5 +286,45 @@ TEST(ProgramCache, StructuralHashSeparatesDags)
     EXPECT_NE(dagStructuralHash(c1), dagStructuralHash(c2));
 }
 
+TEST(ProgramCache, EvalStatsMemoKeysOnFidelityAndCores)
+{
+    // The per-tier evaluation memo: a (program key, fidelity tag,
+    // cores) triple pins one SimStats. Different tiers and core
+    // counts are distinct entries; hits/misses are counted.
+    ProgramCache cache;
+    SimStats s1;
+    s1.cycles = 100;
+    s1.peOperations = 40;
+    SimStats s2;
+    s2.cycles = 110; // same program, different tier's estimate
+    s2.peOperations = 44;
+
+    SimStats out;
+    EXPECT_FALSE(cache.lookupEvalStats("prog-a", 0, 1, out));
+    EXPECT_EQ(cache.stats().evalMisses, 1u);
+
+    cache.storeEvalStats("prog-a", 0, 1, s1);
+    cache.storeEvalStats("prog-a", 2, 1, s2);
+
+    ASSERT_TRUE(cache.lookupEvalStats("prog-a", 0, 1, out));
+    EXPECT_EQ(out.cycles, 100u);
+    ASSERT_TRUE(cache.lookupEvalStats("prog-a", 2, 1, out));
+    EXPECT_EQ(out.cycles, 110u);
+    EXPECT_EQ(cache.stats().evalHits, 2u);
+
+    // Fidelity 1 and a different core count both miss despite the
+    // shared program key.
+    EXPECT_FALSE(cache.lookupEvalStats("prog-a", 1, 1, out));
+    EXPECT_FALSE(cache.lookupEvalStats("prog-a", 0, 2, out));
+    EXPECT_FALSE(cache.lookupEvalStats("prog-b", 0, 1, out));
+    EXPECT_EQ(cache.stats().evalMisses, 4u);
+
+    // A re-store overwrites in place.
+    s1.cycles = 99;
+    cache.storeEvalStats("prog-a", 0, 1, s1);
+    ASSERT_TRUE(cache.lookupEvalStats("prog-a", 0, 1, out));
+    EXPECT_EQ(out.cycles, 99u);
+}
+
 } // namespace
 } // namespace dpu

@@ -61,6 +61,7 @@ expectIdentical(const DsePoint &a, const DsePoint &b)
     EXPECT_EQ(a.powerWatts, b.powerWatts);
     EXPECT_EQ(a.throughputGops, b.throughputGops);
     EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.fidelity, b.fidelity);
 }
 
 std::vector<DsePoint>
@@ -345,7 +346,7 @@ TEST(DseJournal, GoldenPointLine)
         "\"feasible\": true, \"latency_per_op_ns\": 1.5, "
         "\"energy_per_op_pj\": 2.5, \"edp_pj_ns\": 3.75, "
         "\"area_mm2\": 0.5, \"power_watts\": 0.125, "
-        "\"throughput_gops\": 12.5}";
+        "\"throughput_gops\": 12.5, \"fidelity\": \"cycle\"}";
     EXPECT_EQ(dseJournalPointLine(3, goldenPoint()), golden);
 }
 
@@ -364,7 +365,7 @@ TEST(DseJournal, GoldenInfeasibleLine)
         "\"feasible\": false, \"latency_per_op_ns\": 0, "
         "\"energy_per_op_pj\": 0, \"edp_pj_ns\": 0, "
         "\"area_mm2\": 1.25, \"power_watts\": 0, "
-        "\"throughput_gops\": 0}";
+        "\"throughput_gops\": 0, \"fidelity\": \"cycle\"}";
     EXPECT_EQ(dseJournalPointLine(0, p), golden);
 }
 
@@ -405,6 +406,62 @@ TEST(DseJournal, PointLineRoundTripsExactly)
     EXPECT_EQ(index, 42u);
     expectIdentical(parsed, p);
     EXPECT_EQ(dseJournalPointLine(42, parsed), line);
+}
+
+TEST(DseJournal, FastTierPointLineRoundTrips)
+{
+    // Fast-tier points journal their fidelity tag and survive a
+    // parse/re-serialize cycle byte for byte, exactly like cycle
+    // points.
+    for (EvalFidelity f :
+         {EvalFidelity::Table, EvalFidelity::Analytic}) {
+        DsePoint p = goldenPoint();
+        p.fidelity = f;
+        std::string line = dseJournalPointLine(7, p);
+        EXPECT_NE(line.find(std::string("\"fidelity\": \"") +
+                            fidelityName(f) + "\""),
+                  std::string::npos);
+        size_t index = 0;
+        DsePoint parsed;
+        ASSERT_TRUE(parseDseJournalPointLine(line, index, parsed));
+        EXPECT_EQ(parsed.fidelity, f);
+        EXPECT_EQ(dseJournalPointLine(7, parsed), line);
+    }
+}
+
+TEST(DseJournal, OldFormatLineWithoutFidelityReadsAsCycle)
+{
+    // Journals written before the tiered evaluator carry no fidelity
+    // field. Those lines were produced by Machine::run, so they are
+    // cycle-accurate by construction: the parser accepts them and
+    // tags them Cycle. Pinned — changing this to a rejection is a
+    // deliberate, reviewed format break.
+    std::string line = dseJournalPointLine(3, goldenPoint());
+    const std::string tail = ", \"fidelity\": \"cycle\"";
+    size_t at = line.find(tail);
+    ASSERT_NE(at, std::string::npos);
+    std::string old_format = line.erase(at, tail.size());
+
+    size_t index = 0;
+    DsePoint p;
+    ASSERT_TRUE(parseDseJournalPointLine(old_format, index, p));
+    EXPECT_EQ(index, 3u);
+    EXPECT_EQ(p.fidelity, EvalFidelity::Cycle);
+    expectIdentical(p, goldenPoint());
+}
+
+TEST(DseJournal, UnknownFidelityNameIsRejected)
+{
+    // A *present but unrecognized* tier name is a torn or foreign
+    // line, not a default: the parser must refuse it so the sweep
+    // recomputes that point instead of mislabeling it.
+    std::string line = dseJournalPointLine(3, goldenPoint());
+    size_t at = line.find("\"cycle\"");
+    ASSERT_NE(at, std::string::npos);
+    line.replace(at, 7, "\"exact\"");
+    size_t index = 0;
+    DsePoint p;
+    EXPECT_FALSE(parseDseJournalPointLine(line, index, p));
 }
 
 TEST(DseJournal, ParserRejectsTornAndForeignLines)

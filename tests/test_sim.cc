@@ -110,6 +110,86 @@ TEST(Sim, OccupancyTraceRecordsLiveRegisters)
     EXPECT_GT(res.stats.peakLiveRegisters, 0u);
 }
 
+TEST(Sim, OccupancyTraceStaysWithinMaxTraceSamples)
+{
+    // Regression: the occupancy trace used to grow one row per
+    // traceInterval cycles for the whole run, unbounded. It is now
+    // capped at SimOptions::maxTraceSamples via stride-doubling
+    // decimation that keeps whole-run coverage (the tail is never
+    // truncated).
+    Dag d = generateRandomDag(32, 4000, 91);
+    auto prog = compile(d, cfgOf(2, 16, 64));
+    Rng rng(92);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+
+    SimOptions opts;
+    opts.traceOccupancy = true;
+    opts.traceInterval = 2;
+    opts.maxTraceSamples = 8;
+    auto res = Machine(prog, opts).run(in);
+
+    // Far more sample opportunities than the cap, yet the trace is
+    // bounded — and not trivially empty either.
+    ASSERT_GT(res.stats.cycles / opts.traceInterval,
+              uint64_t{opts.maxTraceSamples});
+    EXPECT_LE(res.stats.occupancyTrace.size(),
+              size_t{opts.maxTraceSamples});
+    EXPECT_GE(res.stats.occupancyTrace.size(),
+              size_t{opts.maxTraceSamples} / 2);
+
+    // The effective stride is the configured interval doubled some
+    // whole number of times, and row i still means cycle i * stride.
+    ASSERT_GE(res.stats.traceStride, opts.traceInterval);
+    uint64_t ratio = res.stats.traceStride / opts.traceInterval;
+    EXPECT_EQ(res.stats.traceStride % opts.traceInterval, 0u);
+    EXPECT_EQ(ratio & (ratio - 1), 0u) << "stride grew non-doubly";
+
+    // Whole-run coverage: the decimated trace still spans the run —
+    // the last kept row lies within one (doubled) stride of the end.
+    uint64_t last_cycle =
+        (res.stats.occupancyTrace.size() - 1) * res.stats.traceStride;
+    EXPECT_LE(last_cycle, res.stats.cycles);
+    EXPECT_GE(last_cycle + 2 * res.stats.traceStride,
+              res.stats.cycles);
+
+    // Rows keep their shape through decimation.
+    for (const auto &row : res.stats.occupancyTrace)
+        ASSERT_EQ(row.size(), prog.cfg.banks);
+}
+
+TEST(Sim, OccupancyTraceUnlimitedAndZeroIntervalModes)
+{
+    Dag d = generateRandomDag(16, 600, 93);
+    auto prog = compile(d, cfgOf(2, 8, 32));
+    Rng rng(94);
+    std::vector<double> in(d.numInputs());
+    for (auto &x : in)
+        x = rng.uniform() + 0.5;
+
+    // maxTraceSamples = 0 disables the cap (the pre-fix behavior,
+    // kept opt-in): one row per interval for the whole run.
+    SimOptions unlimited;
+    unlimited.traceOccupancy = true;
+    unlimited.traceInterval = 4;
+    unlimited.maxTraceSamples = 0;
+    auto res = Machine(prog, unlimited).run(in);
+    EXPECT_EQ(res.stats.traceStride, 4u);
+    EXPECT_GE(res.stats.occupancyTrace.size(),
+              res.stats.cycles / 4);
+
+    // traceInterval = 0 must not divide by zero: it clamps to
+    // every-cycle sampling (stride 1), still under the cap.
+    SimOptions zero;
+    zero.traceOccupancy = true;
+    zero.traceInterval = 0;
+    zero.maxTraceSamples = 16;
+    auto rz = Machine(prog, zero).run(in);
+    EXPECT_GE(rz.stats.traceStride, 1u);
+    EXPECT_LE(rz.stats.occupancyTrace.size(), 16u);
+}
+
 TEST(Sim, EventCountsArePlausible)
 {
     Dag d = generateRandomDag(24, 800, 66);
