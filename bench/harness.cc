@@ -77,6 +77,9 @@ benchRegistry()
         {"ablation_blocks", "ablation E16 (block packing)", 1.0},
         {"ablation_mapper", "ablation E17 (mapper/reorder)", 0.5},
         {"serve_latency", "§V-C2 serving mode (multi-DAG)", 0.2},
+        {"serve_latency_fleet", "§V-C2 fleet mode (ranks + link)",
+         0.2, "--ranks=8 --xfer-gbps=4 --placement=replicate",
+         "serve_latency"},
     };
     return registry;
 }
@@ -138,13 +141,39 @@ parseOptions(int argc, char **argv, double default_scale)
                              a + 11, kFidelityChoicesHelp);
                 std::exit(2);
             }
+        } else if (std::strncmp(a, "--ranks=", 8) == 0) {
+            if (!parseUint32Arg(a + 8, o.ranks) || o.ranks < 1) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --ranks "
+                             "(expected an integer >= 1)\n",
+                             a + 8);
+                std::exit(2);
+            }
+        } else if (std::strncmp(a, "--xfer-gbps=", 12) == 0) {
+            if (!parseGbpsArg(a + 12, o.xferGbps)) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --xfer-gbps "
+                             "(expected a number > 0, or 'inf')\n",
+                             a + 12);
+                std::exit(2);
+            }
+        } else if (std::strncmp(a, "--placement=", 12) == 0) {
+            if (!parsePlacementName(a + 12, o.placement)) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --placement "
+                             "(expected %s)\n",
+                             a + 12, kPlacementChoicesHelp);
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
                          "usage: bench [--scale=<f>] [--full] "
                          "[--quick] [--json=<file>] [--threads=N] "
                          "[--cache-dir=<dir>] [--no-cache] "
-                         "[--fidelity=<tier>]\n",
+                         "[--fidelity=<tier>] [--ranks=N] "
+                         "[--xfer-gbps=<v|inf>] "
+                         "[--placement=<policy>]\n",
                          a);
             std::exit(1);
         }

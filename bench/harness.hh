@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -67,12 +68,17 @@ RunResult runWorkload(const Dag &dag, const ArchConfig &cfg,
 // Registry.                                                        //
 // ---------------------------------------------------------------- //
 
-/** Static description of one bench binary. */
+/** Static description of one bench scenario. Most entries are one
+ *  binary run with the uniform flags; a scenario entry reuses another
+ *  entry's binary with extra flags (e.g. the fleet serve_latency
+ *  sweep). */
 struct BenchInfo
 {
-    const char *name;         ///< Binary name and JSON file stem.
+    const char *name;         ///< Scenario name and JSON file stem.
     const char *paperElement; ///< Figure/table it regenerates.
     double defaultScale;      ///< Workload scale with no flags.
+    const char *extraFlags = ""; ///< Space-separated scenario flags.
+    const char *binary = nullptr; ///< Binary name; nullptr = `name`.
 };
 
 /** Every harness-driven bench binary, in paper order. */
@@ -100,15 +106,27 @@ struct Options
      *  (fig11_dse, fig12_pareto, serve_latency); others accept and
      *  ignore the flag so sweep scripts can pass it uniformly. */
     EvalFidelity fidelity = EvalFidelity::Cycle;
+
+    /** Fleet flags, honored by the benches that model a fleet
+     *  (serve_latency); others accept and ignore them. The defaults
+     *  (--ranks=1 --xfer-gbps=inf) reproduce pre-fleet behavior
+     *  byte-identically. */
+    uint32_t ranks = 1;        ///< --ranks=N: modeled ranks.
+    double xferGbps =          ///< --xfer-gbps=<v|inf>: host link.
+        std::numeric_limits<double>::infinity();
+    Placement placement =      ///< --placement=<replicate|affinity>.
+        Placement::Replicate;
 };
 
 /**
  * Parse `--scale=<f> --full --quick --json=<file> --threads=N
- * --cache-dir=<dir> --no-cache --fidelity=<tier>`. `--quick` divides
+ * --cache-dir=<dir> --no-cache --fidelity=<tier> --ranks=N
+ * --xfer-gbps=<v|inf> --placement=<policy>`. `--quick` divides
  * the default scale by 10 unless an explicit `--scale`/`--full`
  * overrides it. Unknown flags are fatal (exit 1) so CI catches typos;
  * invalid values (`--threads=0`, `--threads=abc`, `--scale=x`,
- * `--fidelity=bogus`) are rejected with exit 2 instead of being
+ * `--fidelity=bogus`, `--ranks=0`, `--xfer-gbps=junk`,
+ * `--placement=bogus`) are rejected with exit 2 instead of being
  * silently clamped.
  */
 Options parseOptions(int argc, char **argv, double default_scale);

@@ -31,10 +31,13 @@ DsePoint
 evaluateDesign(const ArchConfig &cfg,
                const std::vector<WorkloadSpec> &suite, double scale,
                uint64_t seed, uint32_t cores, ProgramCache *cache,
-               DseEvalCost *cost, const Evaluator *evaluator)
+               DseEvalCost *cost, const Evaluator *evaluator,
+               uint32_t fleet_ranks, const HostTransferModel &transfer)
 {
     const EvalFidelity fid =
         evaluator ? evaluator->fidelity() : EvalFidelity::Cycle;
+    if (fleet_ranks < 1)
+        fleet_ranks = 1;
 
     DsePoint point;
     point.cfg = cfg;
@@ -42,8 +45,9 @@ evaluateDesign(const ArchConfig &cfg,
     point.cores = cores;
     point.areaMm2 = areaOf(cfg).total;
     point.fidelity = fid;
+    point.fleetRanks = fleet_ranks;
 
-    Summary lat, epo, gops, watts;
+    Summary lat, epo, gops, watts, xfer_ns;
     for (const WorkloadSpec &spec : suite) {
         Dag dag = buildWorkloadDag(spec, scale);
         CompileOptions opt;
@@ -123,17 +127,35 @@ evaluateDesign(const ArchConfig &cfg,
                                   cores, stats);
         if (cores > 1)
             operations *= cores;
+
+        // Host↔rank transfer: the link serializes the dispatch's
+        // input/output payload before the cores compute, extending
+        // the wall clock identically at every tier (the cost is
+        // static — see HostTransferModel). The memoized stats above
+        // stay transfer-free, so one cache entry serves any model.
+        uint64_t runs = cores > 1 ? cores : 1;
+        uint64_t xfer =
+            Evaluator::batchTransferCycles(prog, runs, transfer);
+        stats.transferCycles = xfer;
+        stats.cycles += xfer;
+
         EnergyBreakdown e = energyOf(cfg, stats, operations);
         lat.add(e.latencyPerOpNs());
         epo.add(e.energyPerOpPj());
-        gops.add(double(operations) / e.seconds() * 1e-9);
-        watts.add(e.wallPowerWatts());
+        // A fleet replicates the design: throughput and wall power
+        // scale with the rank count; per-op latency/energy do not.
+        gops.add(fleet_ranks * double(operations) / e.seconds() * 1e-9);
+        watts.add(fleet_ranks * e.wallPowerWatts());
+        if (stats.cycles > 0)
+            xfer_ns.add(double(xfer) / double(stats.cycles) *
+                        e.seconds() * 1e9 / double(operations));
     }
     point.latencyPerOpNs = lat.mean();
     point.energyPerOpPj = epo.mean();
     point.edpPjNs = point.latencyPerOpNs * point.energyPerOpPj;
     point.throughputGops = gops.mean();
     point.powerWatts = watts.mean();
+    point.transferPerOpNs = xfer_ns.mean();
     return point;
 }
 
@@ -240,6 +262,12 @@ dseSpaceSignature(const DseOptions &options)
         options.suite.empty() ? smallSuite() : options.suite;
     for (size_t i = 0; i < suite.size(); ++i)
         os << (i ? "," : "") << suite[i].name;
+    // Fleet terms only when non-default, so pre-fleet journals keep
+    // validating (and staying byte-identical) against the same space.
+    if (options.fleetRanks != 1 || !options.transfer.free())
+        os << "|fleet=" << options.fleetRanks
+           << ";xfer_cpb=" << jsonDouble(options.transfer.cyclesPerByte)
+           << ";xfer_dc=" << options.transfer.dispatchCycles;
     return os.str();
 }
 
@@ -292,8 +320,15 @@ dseJournalPointLine(size_t index, const DsePoint &p)
        << ", \"area_mm2\": " << jsonDouble(p.areaMm2)
        << ", \"power_watts\": " << jsonDouble(p.powerWatts)
        << ", \"throughput_gops\": " << jsonDouble(p.throughputGops)
-       << ", \"fidelity\": " << jsonString(fidelityName(p.fidelity))
-       << "}";
+       << ", \"fidelity\": " << jsonString(fidelityName(p.fidelity));
+    // Fleet fields only when non-default: pre-fleet sweeps keep
+    // emitting byte-identical lines (golden-pinned in test_dse.cc).
+    if (p.fleetRanks != 1)
+        os << ", \"ranks\": " << p.fleetRanks;
+    if (p.transferPerOpNs != 0)
+        os << ", \"transfer_per_op_ns\": "
+           << jsonDouble(p.transferPerOpNs);
+    os << "}";
     return os.str();
 }
 
@@ -328,6 +363,19 @@ parseDseJournalPointLine(const std::string &line, size_t &index,
             !parseFidelityName(name.c_str(), p.fidelity))
             return false;
     }
+    // Fleet fields are optional (emitted only when non-default);
+    // their absence reads as the pre-fleet single-rank free-link
+    // defaults.
+    uint64_t ranks = 1;
+    if (obj.has("ranks")) {
+        if (!obj.getU64("ranks", ranks) || ranks == 0 ||
+            ranks > UINT32_MAX)
+            return false;
+    }
+    p.fleetRanks = static_cast<uint32_t>(ranks);
+    if (obj.has("transfer_per_op_ns") &&
+        !obj.getDouble("transfer_per_op_ns", p.transferPerOpNs))
+        return false;
     if (depth == 0 || depth > 6 || banks == 0 || regs == 0 ||
         cores == 0 || banks > UINT32_MAX || regs > UINT32_MAX ||
         cores > UINT32_MAX)
@@ -532,7 +580,8 @@ runDseSweep(const DseSweepOptions &options)
             // grid-order merge needs no synchronization.
             result.points[i] = evaluateDesign(
                 grid[i].cfg, suite, grid[i].scale, space.seed,
-                grid[i].cores, options.cache, &cost, &evaluator);
+                grid[i].cores, options.cache, &cost, &evaluator,
+                space.fleetRanks, space.transfer);
             ++report.evaluated;
             report.compiles += cost.compiles;
             report.cacheHits += cost.cacheHits;
@@ -583,7 +632,8 @@ runDseSweep(const DseSweepOptions &options)
                 result.points[i] = evaluateDesign(
                     grid[i].cfg, suite, grid[i].scale, space.seed,
                     grid[i].cores, options.cache, &cost,
-                    &cycle_evaluator);
+                    &cycle_evaluator, space.fleetRanks,
+                    space.transfer);
                 ++cycle_evals;
             }
             if (journaling) {

@@ -63,6 +63,13 @@ struct DsePoint
      *  tier-independent (it is decided by the compile); the metric
      *  error envelope is the tier's (see evalErrorBounds). */
     EvalFidelity fidelity = EvalFidelity::Cycle;
+
+    /** Fleet shape the point was evaluated under (DseOptions::
+     *  fleetRanks) and the host-transfer share of latencyPerOpNs.
+     *  1 / 0.0 for a pre-fleet sweep; journal lines carry them only
+     *  when non-default, keeping pre-fleet journals byte-identical. */
+    uint32_t fleetRanks = 1;
+    double transferPerOpNs = 0;
 };
 
 /** Sweep options: the axis grid plus the evaluation parameters. */
@@ -84,6 +91,17 @@ struct DseOptions
 
     /** Workloads to evaluate; empty = the Table I (a)+(b) suite. */
     std::vector<WorkloadSpec> suite;
+
+    /** Fleet evaluation: each design is replicated over this many
+     *  host-driven ranks (throughput and wall power scale by the
+     *  rank count; per-op latency does not). 1 = the pre-fleet
+     *  single-machine sweep, byte-identical journals included. */
+    uint32_t fleetRanks = 1;
+
+    /** Host↔rank transfer model charged per dispatch; its cycles
+     *  extend every tier's latency identically (the cost is static).
+     *  The default free model reproduces pre-fleet metrics. */
+    HostTransferModel transfer{};
 };
 
 /** One unevaluated grid coordinate, in grid order. */
@@ -156,7 +174,9 @@ DsePoint evaluateDesign(const ArchConfig &cfg,
                         uint32_t cores = 1,
                         ProgramCache *cache = nullptr,
                         DseEvalCost *cost = nullptr,
-                        const Evaluator *evaluator = nullptr);
+                        const Evaluator *evaluator = nullptr,
+                        uint32_t fleet_ranks = 1,
+                        const HostTransferModel &transfer = {});
 
 // ---------------------------------------------------------------- //
 // Checkpoint journal (JSON lines).                                 //

@@ -213,6 +213,14 @@ class Evaluator
      *  evaluator has nothing static to say — FatalError). */
     SimStats estimate(const CompiledProgram &prog) const;
 
+    /** Transfer-inclusive single-run estimate: estimate() with
+     *  SimStats::transferCycles filled from `transfer`, matching
+     *  exactly what a cycle-accurate Machine run charged the same
+     *  model reports (the transfer cost is static — see
+     *  HostTransferModel). */
+    SimStats estimate(const CompiledProgram &prog,
+                      const HostTransferModel &transfer) const;
+
     /**
      * Static estimate of `runs` executions dealt round-robin over
      * `cores` model cores (BatchMachine semantics): wall cycles are
@@ -222,11 +230,33 @@ class Evaluator
     SimStats estimateBatch(const CompiledProgram &prog, uint64_t runs,
                            uint32_t cores) const;
 
+    /** Transfer-inclusive batch estimate: estimateBatch() plus the
+     *  exact host-link cycles of a runs-sized dispatch in
+     *  SimStats::transferCycles (BatchMachine agreement at every
+     *  tier). */
+    SimStats estimateBatch(const CompiledProgram &prog, uint64_t runs,
+                           uint32_t cores,
+                           const HostTransferModel &transfer) const;
+
     /** The exact lockstep wall-cycle count of a runs x cores batch —
      *  tier-independent (usable for admission control without an
      *  Evaluator instance). */
     static uint64_t batchWallCycles(const CompiledProgram &prog,
                                     uint64_t runs, uint32_t cores);
+
+    /** The exact host-link cycles of a runs-sized dispatch of `prog`
+     *  under `transfer` — tier-independent, matches
+     *  BatchResult::transferCycles. */
+    static uint64_t batchTransferCycles(const CompiledProgram &prog,
+                                        uint64_t runs,
+                                        const HostTransferModel &transfer);
+
+    /** Transfer-inclusive wall clock of a dispatch: batchWallCycles
+     *  + batchTransferCycles (matches BatchResult::totalWallCycles()
+     *  exactly at every tier). */
+    static uint64_t batchTotalCycles(const CompiledProgram &prog,
+                                     uint64_t runs, uint32_t cores,
+                                     const HostTransferModel &transfer);
 
   private:
     EvalFidelity fid;

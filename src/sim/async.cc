@@ -35,6 +35,9 @@ AsyncBatchServer::predictedServiceUsLocked(const Resident &r,
         runs == 0 || cores == 0)
         return 0; // Uncalibrated (or degenerate): predictions inert.
     uint64_t wall = Evaluator::batchWallCycles(r.prog, runs, cores);
+    // The host link serializes before the cores compute, and its
+    // cost is statically exact at every tier (see HostTransferModel).
+    wall += config.transfer.batchCycles(hostTransferBytes(r.prog), runs);
     return counters.usPerKilocycle * (double(wall) / 1000.0);
 }
 
@@ -48,8 +51,16 @@ AsyncBatchServer::AsyncBatchServer(AsyncServerConfig config_)
         config.workers = 1;
     if (config.hostThreadsPerBatch < 1)
         config.hostThreadsPerBatch = 1;
-    coreReservedBy.assign(config.cores, -1);
-    coreBusy.assign(config.cores, false);
+    if (config.ranks < 1)
+        config.ranks = 1;
+    // Global core id = rank * config.cores + local core. Rank 0's
+    // slice is the whole array on a single-rank server, so every
+    // pre-fleet index computation is unchanged.
+    size_t total = (size_t)config.ranks * config.cores;
+    coreReservedBy.assign(total, -1);
+    coreBusy.assign(total, false);
+    reservedPerRank.assign(config.ranks, 0);
+    counters.perRank.resize(config.ranks);
 
     try {
         batcher = std::thread([this] { batcherMain(); });
@@ -111,20 +122,38 @@ AsyncBatchServer::addProgram(CompiledProgram program, QosSpec qos,
         dpu_fatal("addProgram: QosSpec::maxCores " +
                   std::to_string(qos.maxCores) + " below minCores " +
                   std::to_string(qos.minCores));
-    if (reservedCores + qos.minCores > config.cores)
-        dpu_fatal("addProgram: core reservations exhausted (" +
-                  std::to_string(reservedCores) + " of " +
-                  std::to_string(config.cores) +
-                  " already reserved, requested " +
-                  std::to_string(qos.minCores) + " more)");
-    uint32_t shared_after = config.cores - reservedCores - qos.minCores;
-    if (shared_after == 0) {
-        bool unreserved_resident = qos.minCores == 0;
-        for (const Resident &r : programs)
-            unreserved_resident |= r.qos.minCores == 0;
-        if (unreserved_resident)
-            dpu_fatal("addProgram: reservation would leave no shared "
-                      "core for resident programs without one");
+
+    // Resolve placement: a replicated program is resident (and
+    // reserves cores) on every rank; a pinned one only at its home
+    // rank, chosen round-robin by registration order.
+    bool replicated =
+        qos.placement.value_or(config.placement) == Placement::Replicate;
+    uint32_t home =
+        static_cast<uint32_t>(programs.size()) % config.ranks;
+    auto places_on = [](bool repl, uint32_t home_rank, uint32_t rank) {
+        return repl || home_rank == rank;
+    };
+    for (uint32_t rank = 0; rank < config.ranks; ++rank) {
+        if (!places_on(replicated, home, rank))
+            continue;
+        if (reservedPerRank[rank] + qos.minCores > config.cores)
+            dpu_fatal("addProgram: core reservations exhausted (" +
+                      std::to_string(reservedPerRank[rank]) + " of " +
+                      std::to_string(config.cores) +
+                      " already reserved, requested " +
+                      std::to_string(qos.minCores) + " more)");
+        uint32_t shared_after =
+            config.cores - reservedPerRank[rank] - qos.minCores;
+        if (shared_after == 0) {
+            bool unreserved_resident = qos.minCores == 0;
+            for (const Resident &o : programs)
+                if (places_on(o.replicated, o.homeRank, rank))
+                    unreserved_resident |= o.qos.minCores == 0;
+            if (unreserved_resident)
+                dpu_fatal(
+                    "addProgram: reservation would leave no shared "
+                    "core for resident programs without one");
+        }
     }
 
     programs.push_back(Resident{});
@@ -134,19 +163,27 @@ AsyncBatchServer::addProgram(CompiledProgram program, QosSpec qos,
     r.index = static_cast<uint32_t>(programs.size() - 1);
     r.operations = operations;
     r.numInputs = r.prog.inputLocation.size();
+    r.replicated = replicated;
+    r.homeRank = home;
 
-    // Grant the reservation: the lowest-numbered shared cores become
-    // this program's own. The partition is static for the server's
+    // Grant the reservation on every rank the program is placed on:
+    // the lowest-numbered shared cores of each rank become this
+    // program's own. The partition is static for the server's
     // lifetime (programs cannot be removed).
-    uint32_t granted = 0;
-    for (uint32_t c = 0; c < config.cores && granted < qos.minCores;
-         ++c) {
-        if (coreReservedBy[c] == -1) {
-            coreReservedBy[c] = static_cast<int32_t>(r.index);
-            ++granted;
+    for (uint32_t rank = 0; rank < config.ranks; ++rank) {
+        if (!places_on(replicated, home, rank))
+            continue;
+        uint32_t granted = 0;
+        for (uint32_t c = 0;
+             c < config.cores && granted < qos.minCores; ++c) {
+            size_t g = (size_t)rank * config.cores + c;
+            if (coreReservedBy[g] == -1) {
+                coreReservedBy[g] = static_cast<int32_t>(r.index);
+                ++granted;
+            }
         }
+        reservedPerRank[rank] += qos.minCores;
     }
-    reservedCores += qos.minCores;
     return static_cast<ProgramHandle>(r.index);
 }
 
@@ -307,6 +344,7 @@ AsyncBatchServer::cutBatchLocked(Resident &r, size_t cls,
     b.resident = &r;
     b.priority = static_cast<Priority>(cls);
     b.seq = nextBatchSeq++;
+    b.rank = chooseRankLocked(r);
     b.requests.assign(std::make_move_iterator(queue.begin()),
                       std::make_move_iterator(queue.begin() +
                                               static_cast<ptrdiff_t>(n)));
@@ -418,6 +456,28 @@ AsyncBatchServer::batcherMain()
     }
 }
 
+uint32_t
+AsyncBatchServer::chooseRankLocked(const Resident &r) const
+{
+    if (!r.replicated || config.ranks == 1)
+        return r.homeRank;
+    // Replicated (hot) program: send the batch to the rank with the
+    // fewest busy cores right now, ties to the lowest rank id. On an
+    // idle fleet this is rank 0, matching the single-rank server.
+    uint32_t best_rank = 0;
+    uint32_t best_busy = std::numeric_limits<uint32_t>::max();
+    for (uint32_t rank = 0; rank < config.ranks; ++rank) {
+        uint32_t busy = 0;
+        for (uint32_t c = 0; c < config.cores; ++c)
+            busy += coreBusy[(size_t)rank * config.cores + c];
+        if (busy < best_busy) {
+            best_busy = busy;
+            best_rank = rank;
+        }
+    }
+    return best_rank;
+}
+
 size_t
 AsyncBatchServer::pickRunnableLocked() const
 {
@@ -431,10 +491,12 @@ AsyncBatchServer::pickRunnableLocked() const
     for (size_t k = 0; k < ready.size(); ++k) {
         const Batch &b = ready[k];
         int32_t owner = static_cast<int32_t>(b.resident->index);
+        size_t base = (size_t)b.rank * config.cores;
         bool runnable = false;
         for (uint32_t c = 0; c < config.cores && !runnable; ++c)
-            runnable = !coreBusy[c] && (coreReservedBy[c] == owner ||
-                                        coreReservedBy[c] == -1);
+            runnable = !coreBusy[base + c] &&
+                       (coreReservedBy[base + c] == owner ||
+                        coreReservedBy[base + c] == -1);
         if (!runnable)
             continue;
         if (best == std::numeric_limits<size_t>::max()) {
@@ -468,16 +530,18 @@ AsyncBatchServer::acquireCoresLocked(const Batch &b)
 
     CoreSet granted;
     int32_t owner = static_cast<int32_t>(r.index);
+    size_t base = (size_t)b.rank * config.cores;
     // Own reserved cores first — they are useless to anyone else —
-    // then spread into the shared pool up to the cap.
+    // then spread into the shared pool up to the cap. Only the
+    // target rank's slice is eligible; ids stay global.
     for (uint32_t c = 0; c < config.cores && granted.count() < limit;
          ++c)
-        if (!coreBusy[c] && coreReservedBy[c] == owner)
-            granted.ids.push_back(c);
+        if (!coreBusy[base + c] && coreReservedBy[base + c] == owner)
+            granted.ids.push_back(static_cast<uint32_t>(base + c));
     for (uint32_t c = 0; c < config.cores && granted.count() < limit;
          ++c)
-        if (!coreBusy[c] && coreReservedBy[c] == -1)
-            granted.ids.push_back(c);
+        if (!coreBusy[base + c] && coreReservedBy[base + c] == -1)
+            granted.ids.push_back(static_cast<uint32_t>(base + c));
     dpu_assert(!granted.empty(),
                "picked a batch with no acquirable model core");
     for (uint32_t c : granted.ids)
@@ -534,8 +598,9 @@ AsyncBatchServer::workerMain()
         BatchResult br;
         std::exception_ptr error;
         try {
-            br = BatchMachine(prog, granted, operations,
-                              config.hostThreadsPerBatch)
+            br = BatchMachine(prog, RankSet{batch.rank, granted},
+                              operations, config.hostThreadsPerBatch,
+                              config.transfer)
                      .run(inputs);
         } catch (...) {
             error = std::current_exception();
@@ -566,13 +631,21 @@ AsyncBatchServer::workerMain()
                 : service_us;
             counters.modeledWallCycles += br.wallCycles;
             counters.totalOperations += br.totalOperations;
-            if (br.wallCycles > 0) {
+            counters.transferCycles += br.transferCycles;
+            Stats::RankStats &rs = counters.perRank[batch.rank];
+            ++rs.batches;
+            rs.requests += batch.requests.size();
+            rs.wallCycles += br.wallCycles;
+            rs.transferCycles += br.transferCycles;
+            if (br.totalWallCycles() > 0) {
                 // Calibrate the model-cycle -> wall-microsecond rate
                 // that turns fast-tier cycle estimates into time
                 // predictions. Server-wide: the rate is a property of
                 // the host, not of any one resident program.
+                // Transfer-inclusive, matching the prediction side
+                // (identical to compute-only under a free model).
                 double ratio = double(service_us)
-                    / (double(br.wallCycles) / 1000.0);
+                    / (double(br.totalWallCycles()) / 1000.0);
                 counters.usPerKilocycle = counters.usPerKilocycle > 0
                     ? (3.0 * counters.usPerKilocycle + ratio) / 4.0
                     : ratio;
@@ -588,6 +661,12 @@ AsyncBatchServer::workerMain()
                 counters.perClass[static_cast<size_t>(rq.priority)];
             ++cs.completed;
             cs.lastCompletionSeq = ++counters.completions;
+            // The order observable is bounded (kMaxCompletionRecords)
+            // so fleet-scale open loops don't grow the stats without
+            // limit; the seq counters above stay exact regardless.
+            if (counters.completionOrder.size() < kMaxCompletionRecords)
+                counters.completionOrder.push_back(
+                    {cs.lastCompletionSeq, batch.rank, rq.priority});
             if (rq.hasDeadline) {
                 if (completion <= rq.deadline)
                     ++cs.deadlineHits;

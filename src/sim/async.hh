@@ -38,6 +38,15 @@
  *     an Admission result instead of letting the backlog grow without
  *     bound — the server's backpressure signal.
  *
+ * Fleet layer (rank-aware placement): with AsyncServerConfig::ranks
+ * > 1 the server models a host driving N identical ranks of `cores`
+ * cores each. Resident programs are either replicated (hot: batches
+ * go to the least-loaded rank at cut time) or pinned to a home rank
+ * (cold: affinity keeps one rank's caches warm), per
+ * AsyncServerConfig::placement / QosSpec::placement. Every dispatch
+ * is charged the HostTransferModel's serialization + dispatch cost,
+ * accounted per rank in Stats (never touching per-request results).
+ *
  * Determinism: a request's SimResult is produced by a private Machine
  * running the resident program on that request's input — nothing about
  * batch composition, arrival interleaving, window length, deadlines,
@@ -82,6 +91,13 @@ enum class Priority : uint8_t
 /** Number of priority bands (array extents in the stats). */
 inline constexpr size_t kNumPriorities = 2;
 
+/** Bound on Stats::completionOrder records (same policy as the
+ *  bounded ServiceSamples): recording stops at the cap so
+ *  million-request open loops don't grow the stats without limit,
+ *  while the `completions` counter and every lastCompletionSeq stay
+ *  exact. */
+inline constexpr size_t kMaxCompletionRecords = 1024;
+
 /** Per-program quality-of-service contract, fixed at addProgram(). */
 struct QosSpec
 {
@@ -100,6 +116,13 @@ struct QosSpec
     /** Default per-request deadline, relative to submission (0 =
      *  none). A submit may override it per request. */
     std::chrono::microseconds deadline{0};
+
+    /** Rank placement override for this program: nullopt = follow
+     *  AsyncServerConfig::placement. Replicate makes the program
+     *  resident on every rank (hot); Affinity pins it to one home
+     *  rank chosen by registration order (cold). Irrelevant on a
+     *  single-rank server. */
+    std::optional<Placement> placement;
 };
 
 /** Admission outcome of a trySubmit(). */
@@ -138,10 +161,24 @@ struct SubmitResult
 /** Serving-side knobs. Simulation results never depend on these. */
 struct AsyncServerConfig
 {
-    /** Model cores per dispatched batch (the paper's large system
-     *  deploys 4); feeds the modeled wall-cycle accounting and is the
-     *  pool that per-program reservations partition. */
+    /** Model cores *per rank* (the paper's large system deploys 4);
+     *  feeds the modeled wall-cycle accounting and is the pool that
+     *  per-program reservations partition on each rank. */
     uint32_t cores = 4;
+
+    /** Host-driven ranks in the modeled fleet. 1 (the default)
+     *  reproduces the pre-fleet single-machine server exactly. */
+    uint32_t ranks = 1;
+
+    /** Host↔rank transfer cost charged per dispatched batch. The
+     *  default free model charges 0 cycles, keeping the modeled
+     *  wall-cycle accounting byte-identical to pre-fleet behavior.
+     *  Never affects per-request SimResults. */
+    HostTransferModel transfer{};
+
+    /** Default rank placement of resident programs (a program's
+     *  QosSpec::placement overrides it). */
+    Placement placement = Placement::Replicate;
 
     /** Dispatch a program's pending requests once this many have
      *  coalesced, without waiting out the window. */
@@ -303,6 +340,34 @@ class AsyncBatchServer
         uint64_t modeledWallCycles = 0; ///< Summed over batches.
         uint64_t totalOperations = 0;   ///< Summed over batches.
 
+        /** Modeled host↔rank transfer cycles, summed over batches
+         *  (0 under the default free transfer model). Accounted
+         *  separately from modeledWallCycles. */
+        uint64_t transferCycles = 0;
+
+        /** Per-rank dispatch accounting (size = config.ranks). */
+        struct RankStats
+        {
+            uint64_t batches = 0;        ///< Dispatched to this rank.
+            uint64_t requests = 0;       ///< Summed batch sizes.
+            uint64_t wallCycles = 0;     ///< Modeled compute cycles.
+            uint64_t transferCycles = 0; ///< Modeled link cycles.
+        };
+        std::vector<RankStats> perRank;
+
+        /** One completion, as recorded under the server lock. */
+        struct CompletionRecord
+        {
+            uint64_t seq = 0;  ///< 1-based global completion order.
+            uint32_t rank = 0; ///< Rank the batch ran on.
+            Priority priority = Priority::Batch;
+        };
+
+        /** Completion-order observable, bounded by
+         *  kMaxCompletionRecords (recording stops at the cap;
+         *  `completions` and lastCompletionSeq stay exact). */
+        std::vector<CompletionRecord> completionOrder;
+
         uint64_t servicePredictions = 0; ///< Fast-tier predictions made.
         uint64_t admissionPredictions = 0; ///< Consulted at admission.
         uint64_t predictedDeadlineRejections = 0; ///< Rejected on one.
@@ -377,6 +442,8 @@ class AsyncBatchServer
         uint64_t operations = 0;
         size_t numInputs = 0;
         int64_t ewmaBatchUs = 0;  ///< Observed batch service time.
+        bool replicated = true;   ///< Resolved placement policy.
+        uint32_t homeRank = 0;    ///< Affinity home (index % ranks).
         std::array<std::vector<Request>, kNumPriorities> pending;
     };
 
@@ -389,6 +456,7 @@ class AsyncBatchServer
         Clock::time_point deadline{}; ///< Earliest request deadline.
         bool hasDeadline = false;
         uint64_t seq = 0; ///< Cut order (FIFO tiebreak within a band).
+        uint32_t rank = 0; ///< Target rank, chosen at cut time.
     };
 
     void batcherMain();
@@ -404,9 +472,15 @@ class AsyncBatchServer
      *  SIZE_MAX when none is runnable. Lock held. */
     size_t pickRunnableLocked() const;
 
-    /** Grant `b` its model cores: the program's free reserved cores
-     *  first, then free shared cores, capped by QosSpec::maxCores and
-     *  the batch size. Marks them busy. Lock held. */
+    /** Rank a freshly cut batch of `r` targets: the home rank for a
+     *  pinned program, the rank with the fewest busy cores (ties to
+     *  the lowest id) for a replicated one. Lock held. */
+    uint32_t chooseRankLocked(const Resident &r) const;
+
+    /** Grant `b` its model cores on its target rank: the program's
+     *  free reserved cores first, then free shared cores, capped by
+     *  QosSpec::maxCores and the batch size. Core ids are global
+     *  (rank * cores + c). Marks them busy. Lock held. */
     CoreSet acquireCoresLocked(const Batch &b);
 
     /** Inverse of acquireCoresLocked(). Lock held. */
@@ -431,11 +505,15 @@ class AsyncBatchServer
     /** Resident programs; deque keeps addresses stable while growing. */
     std::deque<Resident> programs;
 
-    /** Static core partition: owning program index, or -1 = shared. */
+    /** Static core partition over all ranks' cores (global core id =
+     *  rank * config.cores + c): owning program index, or -1 =
+     *  shared. */
     std::vector<int32_t> coreReservedBy;
     /** Dynamic occupancy: true while a dispatched batch holds it. */
     std::vector<bool> coreBusy;
-    uint32_t reservedCores = 0; ///< Sum of granted minCores.
+    /** Sum of granted minCores, per rank (a replicated program
+     *  reserves on every rank, a pinned one only at home). */
+    std::vector<uint32_t> reservedPerRank;
 
     std::vector<Batch> ready;
     uint64_t nextBatchSeq = 0;

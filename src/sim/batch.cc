@@ -24,6 +24,17 @@ BatchMachine::BatchMachine(const CompiledProgram &program,
     cores.validate();
 }
 
+BatchMachine::BatchMachine(const CompiledProgram &program,
+                           RankSet rank_set, uint64_t ops,
+                           uint32_t host_threads,
+                           HostTransferModel transfer_model)
+    : BatchMachine(program, std::move(rank_set.cores), ops,
+                   host_threads)
+{
+    rank = rank_set.rank;
+    transfer = transfer_model;
+}
+
 BatchResult
 BatchMachine::run(const std::vector<std::vector<double>> &inputs)
 {
@@ -52,6 +63,17 @@ BatchMachine::run(const std::vector<std::vector<double>> &inputs)
         ? 0
         : *std::max_element(out.perCoreCycles.begin(),
                             out.perCoreCycles.end());
+
+    // Host↔rank transfer: one dispatch carries the whole batch, so
+    // the fixed cost is paid once and the per-run payloads serialize
+    // over the link. Statically determined by (program, batch size) —
+    // never by the simulated values — so every evaluator tier can
+    // reproduce it exactly. 0 under the default free model.
+    out.rank = rank;
+    if (!out.runs.empty())
+        out.transferCycles =
+            transfer.batchCycles(hostTransferBytes(prog),
+                                 out.runs.size());
     return out;
 }
 

@@ -43,6 +43,24 @@ struct BatchResult
     std::vector<uint32_t> coreIds;
     std::vector<uint64_t> perCoreCycles;
 
+    /** Rank the batch was dispatched to (0 unless a RankSet was
+     *  used). */
+    uint32_t rank = 0;
+
+    /** Host↔rank transfer cycles of this dispatch: one fixed
+     *  dispatch cost plus the serialized input/output payload of
+     *  every run. Accounted separately from the compute wallCycles;
+     *  0 under the default free transfer model. */
+    uint64_t transferCycles = 0;
+
+    /** Transfer-inclusive wall clock of the dispatch: the host link
+     *  serializes before the cores compute. */
+    uint64_t
+    totalWallCycles() const
+    {
+        return wallCycles + transferCycles;
+    }
+
     /** Aggregate throughput at a clock frequency. */
     double
     throughputGops(double frequency_hz) const
@@ -82,12 +100,25 @@ class BatchMachine
     BatchMachine(const CompiledProgram &program, CoreSet core_set,
                  uint64_t operations, uint32_t threads = 1);
 
+    /**
+     * Fleet dispatch: run on a (rank, cores) target, charging the
+     * host↔rank transfer model for the dispatch. Per-input
+     * SimResults stay byte-identical to the single-machine path —
+     * the transfer cost is batch-level accounting only
+     * (BatchResult::transferCycles / totalWallCycles()).
+     */
+    BatchMachine(const CompiledProgram &program, RankSet rank_set,
+                 uint64_t operations, uint32_t threads = 1,
+                 HostTransferModel transfer_model = {});
+
     /** Run every input vector; inputs are dealt round-robin. */
     BatchResult run(const std::vector<std::vector<double>> &inputs);
 
   private:
     const CompiledProgram &prog;
     CoreSet cores;
+    uint32_t rank = 0;
+    HostTransferModel transfer{};
     uint64_t operations;
     uint32_t threads;
 };

@@ -46,6 +46,13 @@ class Engine
         // Let the pipeline drain.
         stats.cycles = prog.instructions.size() + cfg.pipelineStages();
 
+        // Host↔rank transfer for this run: one dispatch moving the
+        // input vector down and the output vector back. Statically
+        // determined by the program, so every evaluator tier can
+        // reproduce it exactly; 0 under the default free model.
+        stats.transferCycles =
+            opts.transfer.batchCycles(hostTransferBytes(prog), 1);
+
         // Every register must have been freed by a final read; a
         // leak means the compiler lost track of a value.
         for (uint32_t b = 0; b < cfg.banks; ++b)

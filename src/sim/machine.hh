@@ -26,9 +26,19 @@
 
 #include "arch/config.hh"
 #include "arch/isa.hh"
+#include "arch/topology.hh"
 #include "compiler/program.hh"
 
 namespace dpu {
+
+/** Bytes one run moves across the host↔rank boundary: the input
+ *  vector down plus the output vector back, 8 bytes per value. */
+inline uint64_t
+hostTransferBytes(const CompiledProgram &prog)
+{
+    return 8ull *
+           ((uint64_t)prog.inputLocation.size() + prog.outputs.size());
+}
 
 /** Event counts accumulated during simulation (feed the energy model). */
 struct SimStats
@@ -58,6 +68,11 @@ struct SimStats
      *  decimation. 0 when tracing was off. Sample i was taken at
      *  cycle i * traceStride. */
     uint64_t traceStride = 0;
+
+    /** Modeled host↔rank transfer cycles (SimOptions::transfer),
+     *  accounted separately from the compute `cycles` above. 0 under
+     *  the default free transfer model. */
+    uint64_t transferCycles = 0;
 };
 
 /** Simulation options. */
@@ -71,6 +86,11 @@ struct SimOptions
      *  so arbitrarily long runs keep a whole-run trace in bounded
      *  memory. 0 = unbounded (the historical behavior). */
     uint32_t maxTraceSamples = 4096;
+
+    /** Host↔rank transfer cost charged per run (one dispatch moving
+     *  one input/output vector pair). The default model is free, so
+     *  stats stay byte-identical to the pre-fleet simulator. */
+    HostTransferModel transfer{};
 };
 
 /** Result of a run: per-node output values, in program.outputs order. */
@@ -104,6 +124,33 @@ struct CoreSet
 
     /** Panic on duplicate ids (a double-booked model core). */
     void validate() const;
+};
+
+/**
+ * A dispatch target in a fleet: a rank plus a set of that rank's
+ * cores. Generalizes CoreSet — a RankSet on rank 0 with the same
+ * cores behaves exactly like the bare CoreSet. Rank identity, like
+ * core identity, never reaches the per-input simulation; it selects
+ * which host link the transfer model charges and labels the
+ * accounting.
+ */
+struct RankSet
+{
+    uint32_t rank = 0; ///< owning rank id
+    CoreSet cores;     ///< cores of that rank
+
+    /** The conventional single-rank set: rank 0, cores 0..n-1. */
+    static RankSet
+    firstN(uint32_t n)
+    {
+        return RankSet{0, CoreSet::firstN(n)};
+    }
+
+    size_t count() const { return cores.count(); }
+    bool empty() const { return cores.empty(); }
+
+    /** Panic on duplicate core ids within the rank. */
+    void validate() const { cores.validate(); }
 };
 
 /** The machine. */

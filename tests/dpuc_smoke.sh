@@ -130,6 +130,22 @@ if [ -n "$DSE" ]; then
     check 1 "dse_sweep --refine with cycle fidelity" \
         "$DSE" --quick --refine
 
+    # Fleet axes: --ranks/--xfer-gbps follow the same strict contract.
+    check 0 "dse_sweep fleet axes --quick" \
+        "$DSE" --quick --axes="$AXES" --ranks=2 --xfer-gbps=4
+    check 0 "dse_sweep --xfer-gbps=inf (free link)" \
+        "$DSE" --quick --axes="$AXES" --ranks=2 --xfer-gbps=inf
+    check 2 "dse_sweep --ranks=0" "$DSE" --quick --ranks=0
+    check 2 "dse_sweep --ranks non-numeric" \
+        "$DSE" --quick --ranks=many
+    check 2 "dse_sweep --ranks trailing junk" \
+        "$DSE" --quick --ranks=4x
+    check 2 "dse_sweep --xfer-gbps=0" "$DSE" --quick --xfer-gbps=0
+    check 2 "dse_sweep --xfer-gbps negative" \
+        "$DSE" --quick --xfer-gbps=-2
+    check 2 "dse_sweep --xfer-gbps non-numeric" \
+        "$DSE" --quick --xfer-gbps=junk
+
     check 1 "dse_sweep --resume without --journal" \
         "$DSE" --quick --resume
     printf 'not a journal\n' > "$TMP/notes.txt"
@@ -174,6 +190,23 @@ if [ -n "$SERVE" ]; then
         "$SERVE" --quick --fidelity=
     check 1 "serve unknown flag still exit 1" \
         "$SERVE" --quick --no-such-flag
+
+    # Fleet flags: strict validation plus one real multi-rank quick
+    # run exercising placement + finite-link accounting end to end.
+    check 0 "serve fleet quick run" \
+        "$SERVE" --quick --ranks=2 --xfer-gbps=8 --placement=affinity
+    check 2 "serve --ranks=0" "$SERVE" --quick --ranks=0
+    check 2 "serve --ranks non-numeric" "$SERVE" --quick --ranks=lots
+    check 2 "serve --ranks trailing junk" "$SERVE" --quick --ranks=2x
+    check 2 "serve --xfer-gbps=0" "$SERVE" --quick --xfer-gbps=0
+    check 2 "serve --xfer-gbps negative" \
+        "$SERVE" --quick --xfer-gbps=-3
+    check 2 "serve --xfer-gbps non-numeric" \
+        "$SERVE" --quick --xfer-gbps=fast
+    check 2 "serve --placement unknown policy" \
+        "$SERVE" --quick --placement=bogus
+    check 2 "serve --placement empty" \
+        "$SERVE" --quick --placement=
 fi
 
 if [ "$fails" -ne 0 ]; then

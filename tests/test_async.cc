@@ -497,6 +497,44 @@ TEST(AsyncServer, InteractiveBandBypassesBatchBacklog)
     EXPECT_EQ(s.completions, backlog + 1);
 }
 
+TEST(AsyncServer, CompletionOrderBoundedWhileCountersStayExact)
+{
+    // Regression: Stats::completionOrder used to grow one record per
+    // completion without bound — a million-request open loop carried
+    // a million-entry observable in every stats() copy. It is now
+    // capped like the ServiceSamples; the completions counter and the
+    // per-class lastCompletionSeq must stay exact past the cap.
+    Dag d = generateRandomDag(8, 60, 90);
+    auto prog = compile(d, smallConfig());
+    auto in = makeInputs(d, 1, 91)[0];
+
+    const size_t total = kMaxCompletionRecords + 200;
+    AsyncServerConfig cfg;
+    cfg.maxBatch = 64;
+    cfg.batchWindow = std::chrono::microseconds(100);
+    AsyncBatchServer server(cfg);
+    auto h = server.addProgram(prog);
+
+    std::vector<std::future<SimResult>> futures;
+    for (size_t k = 0; k < total; ++k)
+        futures.push_back(server.submit(h, in));
+    server.drain();
+    for (auto &f : futures)
+        (void)f.get();
+
+    auto s = server.stats();
+    EXPECT_EQ(s.completions, total);
+    EXPECT_EQ(s.completionOrder.size(), kMaxCompletionRecords);
+    // The recorded prefix is the first kMaxCompletionRecords
+    // completions, in order.
+    for (size_t i = 0; i < s.completionOrder.size(); ++i)
+        EXPECT_EQ(s.completionOrder[i].seq, i + 1);
+    // lastCompletionSeq tracks the true completion count, not the
+    // bounded record.
+    EXPECT_EQ(s.forClass(Priority::Batch).lastCompletionSeq, total);
+    EXPECT_EQ(s.forClass(Priority::Batch).completed, total);
+}
+
 TEST(AsyncServer, DeadlineCutsBatchBeforeWindowExpires)
 {
     Dag d = generateRandomDag(10, 200, 80);

@@ -62,6 +62,8 @@ expectIdentical(const DsePoint &a, const DsePoint &b)
     EXPECT_EQ(a.throughputGops, b.throughputGops);
     EXPECT_EQ(a.feasible, b.feasible);
     EXPECT_EQ(a.fidelity, b.fidelity);
+    EXPECT_EQ(a.fleetRanks, b.fleetRanks);
+    EXPECT_EQ(a.transferPerOpNs, b.transferPerOpNs);
 }
 
 std::vector<DsePoint>
@@ -427,6 +429,40 @@ TEST(DseJournal, FastTierPointLineRoundTrips)
         EXPECT_EQ(parsed.fidelity, f);
         EXPECT_EQ(dseJournalPointLine(7, parsed), line);
     }
+}
+
+TEST(DseJournal, FleetFieldsRoundTrip)
+{
+    // Fleet axes journal as optional trailing fields, present only
+    // when non-default — a ranks=1 zero-transfer point serializes to
+    // the exact pre-fleet bytes (pinned by GoldenPointLine above).
+    DsePoint base = goldenPoint();
+    std::string base_line = dseJournalPointLine(5, base);
+    EXPECT_EQ(base_line.find("\"ranks\""), std::string::npos);
+    EXPECT_EQ(base_line.find("\"transfer_per_op_ns\""),
+              std::string::npos);
+
+    DsePoint p = goldenPoint();
+    p.fleetRanks = 8;
+    p.transferPerOpNs = 1.0 / 3.0;
+    std::string line = dseJournalPointLine(5, p);
+    EXPECT_NE(line.find("\"ranks\": 8"), std::string::npos);
+    EXPECT_NE(line.find("\"transfer_per_op_ns\": "),
+              std::string::npos);
+
+    size_t index = 0;
+    DsePoint parsed;
+    ASSERT_TRUE(parseDseJournalPointLine(line, index, parsed));
+    EXPECT_EQ(index, 5u);
+    expectIdentical(parsed, p);
+    EXPECT_EQ(dseJournalPointLine(5, parsed), line);
+
+    // A zero-rank count is a torn or foreign line, never a point.
+    std::string bad = line;
+    size_t at = bad.find("\"ranks\": 8");
+    ASSERT_NE(at, std::string::npos);
+    bad.replace(at, 10, "\"ranks\": 0");
+    EXPECT_FALSE(parseDseJournalPointLine(bad, index, parsed));
 }
 
 TEST(DseJournal, OldFormatLineWithoutFidelityReadsAsCycle)

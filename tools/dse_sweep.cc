@@ -20,6 +20,12 @@
  *                         or analytic
  *     --table=<file>      fitted table model for the table tier
  *                         (default: the built-in calibration)
+ *     --ranks=N           fleet ranks per design point (default 1;
+ *                         throughput/power scale, per-op latency and
+ *                         energy do not)
+ *     --xfer-gbps=<v|inf> host link rate; finite values charge
+ *                         transfer cycles on every evaluated batch
+ *                         (default inf = free link)
  *     --refine            adaptive refinement: fast sweep, then
  *                         cycle re-evaluation of the Pareto
  *                         neighborhood (requires a fast --fidelity)
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "model/dse.hh"
+#include "model/tech28.hh"
 #include "support/cli.hh"
 #include "support/table.hh"
 
@@ -164,6 +171,19 @@ parseArgs(int argc, char **argv, Args &args)
                 reject("--fidelity", a + 11, kFidelityChoicesHelp);
         } else if (std::strncmp(a, "--table=", 8) == 0) {
             args.tablePath = a + 8;
+        } else if (std::strncmp(a, "--ranks=", 8) == 0) {
+            if (!parseUint32Arg(a + 8, args.sweep.space.fleetRanks) ||
+                args.sweep.space.fleetRanks < 1)
+                reject("--ranks", a + 8, "an integer >= 1");
+        } else if (std::strncmp(a, "--xfer-gbps=", 12) == 0) {
+            double gbps = 0;
+            if (!parseGbpsArg(a + 12, gbps))
+                reject("--xfer-gbps", a + 12,
+                       "a number > 0, or 'inf'");
+            else
+                args.sweep.space.transfer =
+                    HostTransferModel::fromGbps(gbps,
+                                                tech28::frequencyHz);
         } else if (std::strcmp(a, "--refine") == 0) {
             args.sweep.refine = true;
         } else if (std::strncmp(a, "--refine-error=", 15) == 0) {
@@ -185,6 +205,7 @@ parseArgs(int argc, char **argv, Args &args)
                 "[--seed=N] [--threads=N] [--shards=N] "
                 "[--journal=<file>] [--resume] [--cache-dir=<dir>] "
                 "[--no-cache] [--fidelity=<tier>] [--table=<file>] "
+                "[--ranks=N] [--xfer-gbps=<v|inf>] "
                 "[--refine] [--refine-error=<f>] [--quick] [--csv]\n",
                 a);
             return 1;

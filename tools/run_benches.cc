@@ -7,6 +7,8 @@
  *     run_benches [--quick|--full] [--threads=N] [--only=<substr>]
  *                 [--outdir=<dir>] [--bindir=<dir>]
  *                 [--cache-dir=<dir>] [--no-cache] [--list]
+ *                 [--ranks=N] [--xfer-gbps=<v|inf>]
+ *                 [--placement=<replicate|affinity>]
  *
  * For each bench `foo` it runs `<bindir>/foo [flags] --json=
  * <outdir>/BENCH_foo.json`, then validates that the report parses as
@@ -14,6 +16,15 @@
  * --cache-dir=<outdir>/progcache (or the --cache-dir override), so
  * identical compiles are shared across the whole sweep instead of
  * being redone once per bench binary.
+ *
+ * Scenario entries in the registry (e.g. serve_latency_fleet) reuse
+ * another entry's binary with extra flags; their JSON report is named
+ * after the scenario. The fleet flags pass through to every bench
+ * (after the scenario's own flags, so an explicit driver flag wins),
+ * and any serve_latency run modeling more than one rank must report
+ * the per-rank fleet series — a report missing the
+ * fleet_rank_utilization / fleet_rank_transfer_overhead keys fails
+ * validation.
  *
  * The google-benchmark `micro_benchmarks` binary is not
  * harness-driven; when it was built, the driver appends it to the
@@ -64,6 +75,15 @@ struct DriverArgs
     std::string outdir = ".";
     std::string bindir;
     std::string cacheDir; ///< Default: <outdir>/progcache.
+
+    // Fleet passthrough flags; only forwarded when given, so default
+    // sweeps run the exact pre-fleet commands.
+    bool ranksGiven = false;
+    bool xferGiven = false;
+    bool placementGiven = false;
+    uint32_t ranks = 1;
+    std::string xferGbps;
+    Placement placement = Placement::Replicate;
 };
 
 bool
@@ -96,13 +116,46 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args)
             args.cacheDir = a + 12;
         else if (std::strcmp(a, "--no-cache") == 0)
             args.noCache = true;
-        else {
+        else if (std::strncmp(a, "--ranks=", 8) == 0) {
+            if (!parseUint32Arg(a + 8, args.ranks) ||
+                args.ranks < 1) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--ranks (expected an integer >= 1)\n",
+                             a + 8);
+                return false;
+            }
+            args.ranksGiven = true;
+        } else if (std::strncmp(a, "--xfer-gbps=", 12) == 0) {
+            double gbps = 0;
+            if (!parseGbpsArg(a + 12, gbps)) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--xfer-gbps (expected a number > 0, or "
+                             "'inf')\n",
+                             a + 12);
+                return false;
+            }
+            args.xferGbps = a + 12; // forwarded verbatim
+            args.xferGiven = true;
+        } else if (std::strncmp(a, "--placement=", 12) == 0) {
+            if (!parsePlacementName(a + 12, args.placement)) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--placement (expected %s)\n",
+                             a + 12, kPlacementChoicesHelp);
+                return false;
+            }
+            args.placementGiven = true;
+        } else {
             std::fprintf(stderr,
                          "run_benches: unknown option '%s'\n"
                          "usage: run_benches [--quick|--full] "
                          "[--threads=N] [--only=<substr>] "
                          "[--outdir=<dir>] [--bindir=<dir>] "
                          "[--cache-dir=<dir>] [--no-cache] "
+                         "[--ranks=N] [--xfer-gbps=<v|inf>] "
+                         "[--placement=<policy>] "
                          "[--list]\n",
                          a);
             return false;
@@ -239,9 +292,10 @@ main(int argc, char **argv)
             std::string(b.name).find(args.only) == std::string::npos)
             continue;
         ++ran;
+        const char *binary = b.binary ? b.binary : b.name;
         std::string report =
             args.outdir + "/BENCH_" + b.name + ".json";
-        std::string cmd = shellQuote(args.bindir + "/" + b.name);
+        std::string cmd = shellQuote(args.bindir + "/" + binary);
         if (args.quick)
             cmd += " --quick";
         if (args.full)
@@ -252,9 +306,54 @@ main(int argc, char **argv)
             cmd += " --no-cache"; // also disables in-process caches
         else if (!cache_dir.empty()) // empty: unwritable, in-memory
             cmd += " --cache-dir=" + shellQuote(cache_dir);
+        // Scenario flags, then the driver's own fleet flags — the
+        // harness CLI is last-wins, so an explicit driver flag
+        // overrides the scenario default.
+        if (b.extraFlags && b.extraFlags[0]) {
+            cmd += " ";
+            cmd += b.extraFlags;
+        }
+        if (args.ranksGiven)
+            cmd += " --ranks=" + std::to_string(args.ranks);
+        if (args.xferGiven)
+            cmd += " --xfer-gbps=" + args.xferGbps;
+        if (args.placementGiven)
+            cmd += std::string(" --placement=") +
+                   placementName(args.placement);
         cmd += " --json=" + shellQuote(report);
 
-        std::string status = run_one(cmd, report, validate_harness_json);
+        // The rank count this command actually models: the scenario's
+        // --ranks= unless the driver overrode it.
+        uint32_t eff_ranks = 1;
+        if (const char *p = std::strstr(b.extraFlags, "--ranks="))
+            (void)std::sscanf(p + 8, "%u", &eff_ranks);
+        if (args.ranksGiven)
+            eff_ranks = args.ranks;
+        bool require_fleet_series =
+            eff_ranks > 1 &&
+            std::strcmp(binary, "serve_latency") == 0;
+
+        auto validate = [&](const std::string &rep) {
+            std::string status = validate_harness_json(rep);
+            if (status != "ok" || !require_fleet_series)
+                return status;
+            std::ifstream in(rep);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            std::string text = buf.str();
+            // A multi-rank serving report without the per-rank fleet
+            // series is a broken fleet run, not a pass.
+            if (text.find("\"fleet_rank_utilization\"") ==
+                    std::string::npos ||
+                text.find("\"fleet_rank_transfer_overhead\"") ==
+                    std::string::npos)
+                return std::string(
+                    "BAD JSON (fleet run missing "
+                    "fleet_rank_utilization / "
+                    "fleet_rank_transfer_overhead series)");
+            return status;
+        };
+        std::string status = run_one(cmd, report, validate);
         if (status != "ok")
             ++failures;
         summary.row().cell(b.name).cell(status).cell(report);
