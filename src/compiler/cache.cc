@@ -11,6 +11,7 @@
 #endif
 
 #include "arch/isa.hh"
+#include "compiler/verify.hh"
 #include "support/logging.hh"
 
 namespace dpu {
@@ -443,7 +444,24 @@ ProgramCache::loadFromDisk(const std::string &key, CompiledProgram &out)
     std::vector<uint8_t> image(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
-    return deserializeProgram(image, out);
+    auto reject = [&](const char *why) {
+        std::fprintf(stderr,
+                     "ProgramCache: rejecting spill file '%s' (%s); "
+                     "treating as a miss\n",
+                     path.string().c_str(), why);
+        std::lock_guard<std::mutex> lock(mutex);
+        ++counters.diskRejects;
+        return false;
+    };
+    if (!deserializeProgram(image, out))
+        return reject("truncated or malformed image");
+    // A well-formed image can still carry a corrupt program (bit rot,
+    // a stale writer, a hand-edited file): prove it legal before any
+    // simulator trusts it.
+    VerifyReport report = verifyProgram(out);
+    if (report.errorCount())
+        return reject(report.summary().c_str());
+    return true;
 }
 
 void

@@ -10,9 +10,10 @@
  * in-memory LRU with an optional on-disk spill directory so hits
  * survive across bench *processes*.
  *
- * CompileOptions::threads and ::validate are deliberately excluded
- * from the key: the partition-parallel compiler is byte-identical for
- * every thread count, so they cannot change the cached artifact.
+ * CompileOptions::threads, ::validate and ::verify are deliberately
+ * excluded from the key: the partition-parallel compiler is
+ * byte-identical for every thread count, and validation/verification
+ * only check the artifact, so none of them can change it.
  *
  * The disk format is a native-endianness binary image (the cache
  * directory is a local build artifact, not a portable interchange
@@ -121,6 +122,9 @@ class ProgramCache
         uint64_t misses = 0;     ///< Full compiles.
         uint64_t evictions = 0;  ///< LRU evictions from memory.
         uint64_t diskWrites = 0; ///< Spill files written.
+        uint64_t diskRejects = 0; ///< Spill files rejected (truncated,
+                                  ///  corrupt, or failing the static
+                                  ///  verifier); each was a miss.
         uint64_t evalHits = 0;   ///< Eval-stats memo hits.
         uint64_t evalMisses = 0; ///< Eval-stats memo misses.
 

@@ -8,6 +8,7 @@
 #include "compiler/finalize.hh"
 #include "compiler/partitioner.hh"
 #include "compiler/scheduler.hh"
+#include "compiler/verify.hh"
 #include "dag/algorithms.hh"
 #include "dag/binarize.hh"
 #include "support/parallel.hh"
@@ -144,9 +145,18 @@ compile(const Dag &input, const ArchConfig &cfg,
     if (options.validate)
         validateDecomposition(dag, cfg, dec);
 
+    VerifyIrOptions vopt;
+    vopt.numBlocks = dec.blocks.size();
+    if (options.verify)
+        throwIfVerifyErrors(verifyIr(ir, cfg, vopt), "codegen");
+
     reorderForPipeline(ir, cfg, options.reorderWindow);
     if (options.validate)
         checkHazardFree(ir, cfg);
+    if (options.verify) {
+        vopt.hazardsResolved = true;
+        throwIfVerifyErrors(verifyIr(ir, cfg, vopt), "schedule");
+    }
 
     CompiledProgram prog = finalizeProgram(std::move(ir), cfg, dec);
 
@@ -156,6 +166,11 @@ compile(const Dag &input, const ArchConfig &cfg,
         explicitWriteFootprintBits(cfg, prog.instructions);
     prog.stats.csrBits = csrFootprintBits(dag);
     prog.stats.dataBits = uint64_t(prog.numRows) * cfg.banks * 32;
+
+    // Last: the program-level pass cross-checks the stats fields just
+    // filled in (V040), so it must see the finished program.
+    if (options.verify)
+        throwIfVerifyErrors(verifyProgram(prog), "finalize");
 
     auto t1 = std::chrono::steady_clock::now();
     prog.stats.compileSeconds =

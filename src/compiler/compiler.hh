@@ -37,6 +37,17 @@ struct CompileOptions
     /** Run the expensive internal validations (tests set this). */
     bool validate = false;
 
+    /** Run the static verifier (compiler/verify.hh) over the IR after
+     *  codegen and scheduling and over the final program, throwing
+     *  VerifyError with structured diagnostics on any violation. On by
+     *  default in Debug and sanitizer builds (DPU_VERIFY_DEFAULT);
+     *  off — and therefore zero-overhead — in Release. */
+#if !defined(NDEBUG) || defined(DPU_VERIFY_DEFAULT)
+    bool verify = true;
+#else
+    bool verify = false;
+#endif
+
     /** Host worker threads for partition-parallel compilation. Each
      *  partition's block decomposition, bank mapping and IR codegen
      *  run concurrently; the merged program is byte-identical for

@@ -32,7 +32,8 @@ evaluateDesign(const ArchConfig &cfg,
                const std::vector<WorkloadSpec> &suite, double scale,
                uint64_t seed, uint32_t cores, ProgramCache *cache,
                DseEvalCost *cost, const Evaluator *evaluator,
-               uint32_t fleet_ranks, const HostTransferModel &transfer)
+               uint32_t fleet_ranks, const HostTransferModel &transfer,
+               bool verify)
 {
     const EvalFidelity fid =
         evaluator ? evaluator->fidelity() : EvalFidelity::Cycle;
@@ -52,6 +53,8 @@ evaluateDesign(const ArchConfig &cfg,
         Dag dag = buildWorkloadDag(spec, scale);
         CompileOptions opt;
         opt.seed = seed;
+        if (verify) // explicit opt-in only; keep the default build-set
+            opt.verify = true;
         CompiledProgram prog;
         try {
             prog = cache ? cache->compile(dag, cfg, opt)
@@ -581,7 +584,7 @@ runDseSweep(const DseSweepOptions &options)
             result.points[i] = evaluateDesign(
                 grid[i].cfg, suite, grid[i].scale, space.seed,
                 grid[i].cores, options.cache, &cost, &evaluator,
-                space.fleetRanks, space.transfer);
+                space.fleetRanks, space.transfer, options.verify);
             ++report.evaluated;
             report.compiles += cost.compiles;
             report.cacheHits += cost.cacheHits;
@@ -633,7 +636,7 @@ runDseSweep(const DseSweepOptions &options)
                     grid[i].cfg, suite, grid[i].scale, space.seed,
                     grid[i].cores, options.cache, &cost,
                     &cycle_evaluator, space.fleetRanks,
-                    space.transfer);
+                    space.transfer, options.verify);
                 ++cycle_evals;
             }
             if (journaling) {

@@ -176,7 +176,8 @@ DsePoint evaluateDesign(const ArchConfig &cfg,
                         DseEvalCost *cost = nullptr,
                         const Evaluator *evaluator = nullptr,
                         uint32_t fleet_ranks = 1,
-                        const HostTransferModel &transfer = {});
+                        const HostTransferModel &transfer = {},
+                        bool verify = false);
 
 // ---------------------------------------------------------------- //
 // Checkpoint journal (JSON lines).                                 //
@@ -260,6 +261,13 @@ struct DseSweepOptions
 
     /** Explicit rate table for the Table tier (nullptr = builtin). */
     const TableModel *table = nullptr;
+
+    /** Run the static verifier (compiler/verify.hh) on every point
+     *  compile. A verifier failure is a compiler bug and aborts the
+     *  sweep (VerifyError), never a silent "infeasible" point. Not
+     *  part of the space signature: verification cannot change
+     *  results, so verified and unverified journals interoperate. */
+    bool verify = false;
 };
 
 /** Per-shard execution report (wall-clock + cache traffic; the

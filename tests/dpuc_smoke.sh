@@ -2,16 +2,19 @@
 # CTest smoke test for the CLI exit-code contract:
 #   0 = success, 1 = user error, 2 = invalid option value.
 # Usage: dpuc_smoke.sh <path-to-dpuc> [path-to-dse_sweep] \
-#                      [path-to-serve_latency]
+#                      [path-to-dpulint] [path-to-serve_latency]
 # The optional second binary gets the DSE driver checks (strict
 # --axes/--shards/--threads validation, journal + resume round); the
-# optional third gets the serving-bench QoS flag checks
-# (--priority-mix/--deadline-us/--queue-depth strict validation).
+# optional third gets the verifier-CLI checks (clean program -> 0,
+# corrupt file -> 1, bad flag -> 2); the optional fourth gets the
+# serving-bench QoS flag checks (--priority-mix/--deadline-us/
+# --queue-depth strict validation).
 set -u
 
-DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc> [path-to-dse_sweep] [path-to-serve_latency]}"
+DPUC="${1:?usage: dpuc_smoke.sh <path-to-dpuc> [path-to-dse_sweep] [path-to-dpulint] [path-to-serve_latency]}"
 DSE="${2:-}"
-SERVE="${3:-}"
+DPULINT="${3:-}"
+SERVE="${4:-}"
 TMP=$(mktemp -d) || exit 125
 trap 'rm -rf "$TMP"' EXIT
 fails=0
@@ -52,6 +55,19 @@ check 0 "--partition + --threads" \
     "$DPUC" "$TMP/tiny.dag" --partition=1 --threads=4 --simulate
 [ -s "$TMP/tiny.bin" ] || {
     echo "FAIL: --out wrote no binary image"
+    fails=$((fails + 1))
+}
+
+# Static verification: --verify runs the compiler/verify.hh pass on
+# every pipeline stage; --prog= writes the self-contained program
+# image dpulint consumes.
+check 0 "--verify" "$DPUC" "$TMP/tiny.dag" --verify
+check 0 "--verify --simulate --partition" \
+    "$DPUC" "$TMP/tiny.dag" --verify --simulate --partition=1
+check 0 "--prog image" \
+    "$DPUC" "$TMP/tiny.dag" --verify --prog="$TMP/tiny.dpuprog"
+[ -s "$TMP/tiny.dpuprog" ] || {
+    echo "FAIL: --prog wrote no program image"
     fails=$((fails + 1))
 }
 
@@ -160,6 +176,36 @@ if [ -n "$DSE" ]; then
         "$DSE" --quick --axes='depth=1;banks=16;regs=16' \
         --journal="$TMP/dse.jsonl" --resume
     check 1 "dse_sweep unknown flag" "$DSE" --no-such-flag
+
+    # Static verification of every point compile: a quick verified
+    # sweep must succeed end to end.
+    check 0 "dse_sweep --verify quick sweep" \
+        "$DSE" --quick --axes="$AXES" --verify
+fi
+
+# dpulint: the verifier CLI's documented exit-code contract
+# (0 = every program clean, 1 = diagnostics or unreadable/corrupt
+# input, 2 = usage error).
+if [ -n "$DPULINT" ]; then
+    "$DPUC" "$TMP/tiny.dag" --prog="$TMP/lint.dpuprog" \
+        >/dev/null 2>&1
+    check 0 "dpulint clean program" "$DPULINT" "$TMP/lint.dpuprog"
+    check 0 "dpulint --disasm" \
+        "$DPULINT" --disasm "$TMP/lint.dpuprog"
+
+    head -c 40 "$TMP/lint.dpuprog" > "$TMP/trunc.dpuprog"
+    check 1 "dpulint truncated image" "$DPULINT" "$TMP/trunc.dpuprog"
+    printf 'garbage' > "$TMP/garbage.dpuprog"
+    check 1 "dpulint corrupt image" "$DPULINT" "$TMP/garbage.dpuprog"
+    check 1 "dpulint missing file" \
+        "$DPULINT" "$TMP/does-not-exist.dpuprog"
+    check 1 "dpulint one bad among good" \
+        "$DPULINT" "$TMP/lint.dpuprog" "$TMP/trunc.dpuprog"
+
+    check 2 "dpulint no input files" "$DPULINT"
+    check 2 "dpulint unknown flag" "$DPULINT" --no-such-flag
+    check 2 "dpulint bad --max-diags" \
+        "$DPULINT" --max-diags=lots "$TMP/lint.dpuprog"
 fi
 
 # Serving-bench QoS flags: same strict-validation contract (exit 2 on

@@ -226,6 +226,79 @@ TEST(ProgramCache, SerializationRoundTrip)
     EXPECT_FALSE(deserializeProgram(truncated, junk));
 }
 
+TEST(ProgramCache, TruncatedSpillFileIsRejectedAsAMiss)
+{
+    ScratchDir dir("progcache_test_trunc");
+    ProgramCacheConfig cc;
+    cc.diskDir = dir.path.string();
+
+    Dag d = generateRandomDag(16, 400, 82);
+    ArchConfig cfg = cfgOf(2, 8, 32);
+    CompiledProgram first;
+    {
+        ProgramCache writer(cc);
+        first = writer.compile(d, cfg);
+    }
+    // Truncate the spill file mid-image (a torn write, a full disk,
+    // bit rot): the reload must warn, count a reject, and recompile
+    // — never propagate a malformed program.
+    std::filesystem::path file =
+        dir.path / (programCacheKey(d, cfg, {}) + ".dpuprog");
+    ASSERT_TRUE(std::filesystem::exists(file));
+    auto size = std::filesystem::file_size(file);
+    std::filesystem::resize_file(file, size / 2);
+
+    ProgramCache reader(cc);
+    auto again = reader.compile(d, cfg);
+    EXPECT_EQ(again.stats.cacheHits, 0u);
+    auto s = reader.stats();
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.diskRejects, 1u);
+    expectSamePrograms(first, again);
+}
+
+TEST(ProgramCache, CorruptButDeserializableSpillFailsVerification)
+{
+    ScratchDir dir("progcache_test_corrupt");
+    ProgramCacheConfig cc;
+    cc.diskDir = dir.path.string();
+
+    Dag d = generateRandomDag(16, 400, 83);
+    ArchConfig cfg = cfgOf(2, 8, 32);
+    {
+        ProgramCache writer(cc);
+        writer.compile(d, cfg);
+    }
+    // Tamper with a stats field and rewrite the image: it still
+    // deserializes, so only the static verifier (V040) catches it.
+    std::filesystem::path file =
+        dir.path / (programCacheKey(d, cfg, {}) + ".dpuprog");
+    std::vector<uint8_t> image;
+    {
+        std::ifstream in(file, std::ios::binary);
+        image.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    CompiledProgram prog;
+    ASSERT_TRUE(deserializeProgram(image, prog));
+    prog.stats.instructions += 7;
+    auto tampered = serializeProgram(prog);
+    {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(tampered.data()),
+                  static_cast<std::streamsize>(tampered.size()));
+    }
+
+    ProgramCache reader(cc);
+    auto again = reader.compile(d, cfg);
+    EXPECT_EQ(again.stats.cacheHits, 0u);
+    auto s = reader.stats();
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.diskRejects, 1u);
+}
+
 TEST(ProgramCache, UnwritableDiskDirFallsBackToMemory)
 {
     // A diskDir that cannot exist (a path component is a regular

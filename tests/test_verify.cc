@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Tests for the static program verifier (compiler/verify.hh): one
+ * golden-diagnostic test per code over hand-corrupted programs, the
+ * VerifyError contract, and a sweep asserting the verifier is clean
+ * on every suite workload across arch configs and thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "compiler/compiler.hh"
+#include "compiler/verify.hh"
+#include "support/logging.hh"
+#include "workloads/suite.hh"
+
+namespace dpu {
+namespace {
+
+ArchConfig
+cfgOf(uint32_t depth, uint32_t banks, uint32_t regs)
+{
+    ArchConfig c;
+    c.depth = depth;
+    c.banks = banks;
+    c.regsPerBank = regs;
+    return c;
+}
+
+/** The hand-built test machine: one tree, one PE, two banks of two
+ *  registers, two pipeline stages. Small enough that every corrupt
+ *  program below is auditable by hand. */
+ArchConfig
+tinyCfg()
+{
+    return cfgOf(1, 2, 2);
+}
+
+/** Wrap instructions into a CompiledProgram whose CompileStats are
+ *  exactly consistent, so only the deliberately planted corruption
+ *  fires (and never a collateral V040). */
+CompiledProgram
+makeProgram(std::vector<Instruction> instrs, uint32_t num_rows = 2)
+{
+    CompiledProgram prog;
+    prog.cfg = tinyCfg();
+    prog.instructions = std::move(instrs);
+    prog.numRows = num_rows;
+    CompileStats &s = prog.stats;
+    for (const Instruction &in : prog.instructions) {
+        ++s.kindCount[static_cast<size_t>(kindOf(in))];
+        if (const auto *ex = std::get_if<ExecInstr>(&in))
+            for (PeOp op : ex->peOp)
+                if (op == PeOp::Add || op == PeOp::Mul)
+                    ++s.peOpsExecuted;
+    }
+    s.instructions = prog.instructions.size();
+    s.cycles = s.instructions + prog.cfg.pipelineStages();
+    s.nops = s.kindCount[static_cast<size_t>(InstrKind::Nop)];
+    s.programBits = programSizeBits(prog.cfg, prog.instructions);
+    s.dataBits = uint64_t(prog.numRows) * prog.cfg.banks * 32;
+    return prog;
+}
+
+LoadInstr
+load(uint32_t row, std::vector<bool> enable)
+{
+    LoadInstr in;
+    in.memRow = row;
+    in.enable = std::move(enable);
+    return in;
+}
+
+StoreInstr
+store(uint32_t row, std::vector<bool> enable,
+      std::vector<uint16_t> addr)
+{
+    StoreInstr in;
+    in.memRow = row;
+    in.enable = std::move(enable);
+    in.readAddr = std::move(addr);
+    return in;
+}
+
+/** Exec on the tiny machine: one PE, selects/addresses per bank. */
+ExecInstr
+exec(PeOp op, std::vector<uint16_t> sel, std::vector<uint16_t> addr,
+     std::vector<bool> rst, std::vector<bool> we)
+{
+    ExecInstr in;
+    in.peOp = {op};
+    in.inputSel = std::move(sel);
+    in.readAddr = std::move(addr);
+    in.validRst = std::move(rst);
+    in.writeEnable = std::move(we);
+    in.outputSel = {0, 0};
+    return in;
+}
+
+/** The only diagnostic in the report, formatted. */
+std::string
+soleDiagnostic(const VerifyReport &report)
+{
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.toString(0);
+    return report.diagnostics.empty()
+               ? std::string()
+               : report.diagnostics.front().format();
+}
+
+// ------------------------------------------------------------------ //
+// A legal baseline, then one golden test per diagnostic code.        //
+// ------------------------------------------------------------------ //
+
+/** load both banks -> exec add (frees both, writes b0) -> store. */
+std::vector<Instruction>
+legalBaseline()
+{
+    return {
+        load(0, {true, true}),
+        NopInstr{},
+        NopInstr{},
+        exec(PeOp::Add, {0, 1}, {0, 0}, {true, true}, {true, false}),
+        NopInstr{},
+        NopInstr{},
+        store(1, {true, false}, {0, 0}),
+    };
+}
+
+TEST(Verify, LegalProgramIsClean)
+{
+    VerifyReport report = verifyProgram(makeProgram(legalBaseline()));
+    EXPECT_TRUE(report.clean()) << report.toString(0);
+    EXPECT_EQ(report.errorCount(), 0u);
+    EXPECT_EQ(report.summary(), "0 error(s), 0 warning(s)");
+}
+
+TEST(Verify, V001UseBeforeDef)
+{
+    // An exec reading bank 0 of a fresh machine: nothing was written.
+    VerifyReport report = verifyProgram(makeProgram({
+        exec(PeOp::PassA, {0, 0}, {0, 0}, {false, false},
+             {false, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 0: error V001-use-before-def: read of "
+              "never-written register b0@0");
+}
+
+TEST(Verify, V002ReadAfterFree)
+{
+    // The store is b0@0's final read; the exec reads it afterwards.
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, false}),
+        NopInstr{},
+        NopInstr{},
+        store(1, {true, false}, {0, 0}),
+        exec(PeOp::PassA, {0, 0}, {0, 0}, {false, false},
+             {false, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 4: error V002-read-after-free: read of freed "
+              "register b0@0");
+}
+
+TEST(Verify, V003BankDoubleWrite)
+{
+    // Both copy_4 slots land in bank 0: two writes, one write port.
+    Copy4Instr copy;
+    copy.slots[0] = {true, 0, 0, 0};
+    copy.slots[1] = {true, 1, 0, 0};
+    copy.validRst = {true, false};
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, true}),
+        NopInstr{},
+        NopInstr{},
+        copy,
+        NopInstr{},
+        NopInstr{},
+        store(1, {true, true}, {0, 0}),
+        store(1, {true, false}, {1, 0}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 3: error V003-bank-conflict: two copy_4 slots "
+              "write bank 0 (one write per bank per cycle)");
+}
+
+TEST(Verify, V004RegisterFileOverflow)
+{
+    // Three loads into a two-register bank.
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, false}),
+        load(0, {true, false}),
+        load(0, {true, false}),
+        store(1, {true, false}, {0, 0}),
+        store(1, {true, false}, {1, 0}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 2: error V004-regfile-overflow: write to full "
+              "bank 0 (occupancy would exceed R=2)");
+}
+
+TEST(Verify, V005RegisterLeak)
+{
+    // A load whose register is never freed by a last read.
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "program: error V005-register-leak: bank 0 ends with 1 "
+              "register(s) still valid (never freed)");
+}
+
+TEST(Verify, V006DoubleFree)
+{
+    // valid_rst on bank 1, which this exec does not read.
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, true}),
+        NopInstr{},
+        NopInstr{},
+        exec(PeOp::PassA, {0, 0}, {0, 0}, {true, true},
+             {false, false}),
+        store(1, {false, true}, {0, 0}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 3: error V006-double-free: exec valid_rst on "
+              "bank 1 which this exec does not read (frees nothing)");
+}
+
+TEST(Verify, V010RowOutOfBounds)
+{
+    VerifyReport report = verifyProgram(makeProgram({
+        load(7, {false, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 0: error V010-row-out-of-bounds: load of row 7 "
+              "outside the 2 data-memory rows this program uses");
+}
+
+TEST(Verify, V011IoLocationOutOfBounds)
+{
+    CompiledProgram prog = makeProgram(legalBaseline());
+    prog.inputLocation.push_back({5, 0});
+    VerifyReport report = verifyProgram(prog);
+    EXPECT_EQ(soleDiagnostic(report),
+              "program: error V011-io-location-out-of-bounds: input 0 "
+              "at (5, 0) outside data memory (2 rows x 2 cols)");
+}
+
+TEST(Verify, V011RowsAboveDataMemIsAWarning)
+{
+    // Using more rows than the configured data memory is suspicious
+    // (the workload will not fit on the real machine) but the program
+    // itself is legal — a warning, not an error.
+    CompiledProgram prog = makeProgram({}, /*num_rows=*/4097);
+    VerifyReport report = verifyProgram(prog);
+    ASSERT_EQ(report.diagnostics.size(), 1u) << report.toString(0);
+    EXPECT_EQ(report.diagnostics[0].severity, VerifySeverity::Warning);
+    EXPECT_EQ(report.errorCount(), 0u);
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.diagnostics[0].format(),
+              "program: warning V011-io-location-out-of-bounds: "
+              "program uses 4097 data-memory rows but the "
+              "configuration provides 4096");
+}
+
+TEST(Verify, V020SelectOutOfBounds)
+{
+    VerifyReport report = verifyProgram(makeProgram({
+        exec(PeOp::PassA, {5, 0}, {0, 0}, {false, false},
+             {false, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 0: error V020-select-out-of-bounds: crossbar "
+              "select 5 on port 0 of 2 banks");
+}
+
+TEST(Verify, V022MalformedInstruction)
+{
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true}), // one enable lane on a two-bank machine
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 0: error V022-malformed-instruction: load enable "
+              "has 1 lanes for 2 banks");
+}
+
+TEST(Verify, V030PipelineHazard)
+{
+    // The load's data is in flight for 2 cycles; the exec reads at 1.
+    VerifyReport report = verifyProgram(makeProgram({
+        load(0, {true, false}),
+        exec(PeOp::PassA, {0, 0}, {0, 0}, {true, false},
+             {false, false}),
+    }));
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 1: error V030-pipeline-hazard: read of register "
+              "b0@0 while its data is in flight until cycle 2");
+}
+
+TEST(Verify, V040StatsMismatch)
+{
+    CompiledProgram prog = makeProgram(legalBaseline());
+    prog.stats.instructions += 1;
+    VerifyReport report = verifyProgram(prog);
+    EXPECT_EQ(soleDiagnostic(report),
+              "program: error V040-stats-mismatch: "
+              "stats.instructions claims 8 but the program has 7");
+}
+
+TEST(Verify, IllegalConfigIsASingleDiagnosticNotACrash)
+{
+    // A corrupt spill image can carry garbage configs; the verifier
+    // must diagnose, never assert.
+    CompiledProgram prog = makeProgram(legalBaseline());
+    prog.cfg.banks = 3; // not a power of two
+    VerifyReport report = verifyProgram(prog);
+    ASSERT_EQ(report.diagnostics.size(), 1u) << report.toString(0);
+    EXPECT_EQ(report.diagnostics[0].code,
+              VerifyCode::MalformedInstruction);
+    EXPECT_EQ(report.diagnostics[0].instrIndex, kVerifyNoInstr);
+}
+
+// ------------------------------------------------------------------ //
+// IR-level pass.                                                     //
+// ------------------------------------------------------------------ //
+
+/** Minimal IR: one instance in bank 0, loaded then stored. */
+IrProgram
+tinyIr()
+{
+    IrProgram ir;
+    ir.instances.push_back({invalidNode, 0, static_cast<uint32_t>(-1)});
+    ir.inputRows = 1;
+    ir.outputRows = 1;
+
+    IrInstr ld;
+    ld.kind = InstrKind::Load;
+    ld.memRow = 0;
+    ld.writes.push_back({0});
+    ir.instrs.push_back(ld);
+
+    IrInstr st;
+    st.kind = InstrKind::Store;
+    st.memRow = 1;
+    st.reads.push_back({0, true});
+    ir.instrs.push_back(st);
+    return ir;
+}
+
+TEST(VerifyIr, CleanWithoutHazardResolution)
+{
+    // Pre-reorder IR: the store reads 1 cycle after the load's write
+    // (latency 2) — a hazard, but not diagnosed until resolved.
+    VerifyReport report = verifyIr(tinyIr(), tinyCfg());
+    EXPECT_TRUE(report.clean()) << report.toString(0);
+}
+
+TEST(VerifyIr, V030AfterHazardResolution)
+{
+    VerifyIrOptions opt;
+    opt.hazardsResolved = true;
+    VerifyReport report = verifyIr(tinyIr(), tinyCfg(), opt);
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 1: error V030-pipeline-hazard: read of instance "
+              "#0 while its data is in flight until t=2");
+}
+
+TEST(VerifyIr, V007DoubleWrite)
+{
+    IrProgram ir = tinyIr();
+    IrInstr ld2 = ir.instrs[0];
+    ir.instrs.insert(ir.instrs.begin() + 1, ld2);
+    VerifyReport report = verifyIr(ir, tinyCfg());
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 1: error V007-double-write: instance #0 is "
+              "written twice (instances are single-assignment)");
+}
+
+TEST(VerifyIr, V021BlockOutOfBounds)
+{
+    IrProgram ir;
+    ir.inputRows = 1;
+    IrInstr ex;
+    ex.kind = InstrKind::Exec;
+    ex.blockId = 5;
+    ex.inputSel = {0, 0};
+    ir.instrs.push_back(ex);
+
+    VerifyIrOptions opt;
+    opt.numBlocks = 2;
+    VerifyReport report = verifyIr(ir, tinyCfg(), opt);
+    EXPECT_EQ(soleDiagnostic(report),
+              "instr 0: error V021-block-out-of-bounds: exec "
+              "references block 5 of 2");
+}
+
+TEST(VerifyIr, V005UnfreedInstanceLeaks)
+{
+    IrProgram ir = tinyIr();
+    ir.instrs.pop_back(); // drop the store: never freed
+    VerifyReport report = verifyIr(ir, tinyCfg());
+    ASSERT_EQ(report.diagnostics.size(), 1u) << report.toString(0);
+    EXPECT_EQ(report.diagnostics[0].code, VerifyCode::RegisterLeak);
+}
+
+// ------------------------------------------------------------------ //
+// Report / error plumbing.                                           //
+// ------------------------------------------------------------------ //
+
+TEST(Verify, ThrowIfVerifyErrorsContract)
+{
+    VerifyReport clean;
+    EXPECT_NO_THROW(throwIfVerifyErrors(clean, "codegen"));
+
+    VerifyReport warn_only;
+    warn_only.diagnostics.push_back({VerifySeverity::Warning,
+                                     VerifyCode::IoLocOutOfBounds,
+                                     kVerifyNoInstr, "w"});
+    EXPECT_NO_THROW(throwIfVerifyErrors(warn_only, "codegen"));
+
+    VerifyReport bad;
+    bad.diagnostics.push_back({VerifySeverity::Error,
+                               VerifyCode::UseBeforeDef, 3, "boom"});
+    try {
+        throwIfVerifyErrors(bad, "schedule");
+        FAIL() << "expected VerifyError";
+    } catch (const VerifyError &e) {
+        EXPECT_EQ(e.stage(), "schedule");
+        ASSERT_EQ(e.report().diagnostics.size(), 1u);
+        EXPECT_NE(std::string(e.what()).find("V001-use-before-def"),
+                  std::string::npos);
+    }
+}
+
+TEST(Verify, VerifyErrorIsAPanicNotAFatal)
+{
+    // DSE sweeps swallow FatalError as "design infeasible"; a
+    // verifier failure is a compiler bug and must never be swallowed.
+    static_assert(std::is_base_of_v<PanicError, VerifyError>);
+    static_assert(!std::is_base_of_v<FatalError, VerifyError>);
+}
+
+TEST(Verify, CodeNamesAreStable)
+{
+    EXPECT_STREQ(verifyCodeName(VerifyCode::UseBeforeDef),
+                 "V001-use-before-def");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::ReadAfterFree),
+                 "V002-read-after-free");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::BankConflict),
+                 "V003-bank-conflict");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::RegFileOverflow),
+                 "V004-regfile-overflow");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::RegisterLeak),
+                 "V005-register-leak");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::DoubleFree),
+                 "V006-double-free");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::DoubleWrite),
+                 "V007-double-write");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::RowOutOfBounds),
+                 "V010-row-out-of-bounds");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::IoLocOutOfBounds),
+                 "V011-io-location-out-of-bounds");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::SelectOutOfBounds),
+                 "V020-select-out-of-bounds");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::BlockOutOfBounds),
+                 "V021-block-out-of-bounds");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::MalformedInstruction),
+                 "V022-malformed-instruction");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::PipelineHazard),
+                 "V030-pipeline-hazard");
+    EXPECT_STREQ(verifyCodeName(VerifyCode::StatsMismatch),
+                 "V040-stats-mismatch");
+}
+
+TEST(Verify, ReportTruncatesAtTheCap)
+{
+    // 300 never-written reads: the cap (256) stops recording but the
+    // replay (and the truncated marker) keep going.
+    std::vector<Instruction> instrs(
+        300, exec(PeOp::PassA, {0, 0}, {0, 0}, {false, false},
+                  {false, false}));
+    VerifyReport report = verifyProgram(makeProgram(std::move(instrs)));
+    EXPECT_TRUE(report.truncated);
+    EXPECT_EQ(report.diagnostics.size(), 256u);
+    EXPECT_NE(report.summary().find("truncated"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ //
+// The whole workload suite verifies clean.                           //
+// ------------------------------------------------------------------ //
+
+TEST(VerifySweep, SuiteIsCleanAcrossConfigsAndThreads)
+{
+    const double scale = 0.05;
+    const std::vector<ArchConfig> cfgs = {minEdpConfig(),
+                                          cfgOf(2, 16, 8)};
+    for (const WorkloadSpec &spec : smallSuite()) {
+        for (const ArchConfig &cfg : cfgs) {
+            for (uint32_t threads : {1u, 3u}) {
+                CompileOptions opt;
+                opt.verify = true; // throws VerifyError on any issue
+                opt.threads = threads;
+                opt.partitionNodes = threads > 1 ? 400 : 0;
+                CompiledProgram prog =
+                    compileWorkload(spec, scale, cfg, opt);
+                VerifyReport report = verifyProgram(prog);
+                EXPECT_EQ(report.errorCount(), 0u)
+                    << spec.name << " @ " << cfg.label() << " t"
+                    << threads << ": " << report.toString();
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace dpu

@@ -9,10 +9,14 @@
  *
  *     --depth=N --banks=N --regs=N   architecture (default: min-EDP)
  *     --out=<file>                   write the packed binary image
+ *     --prog=<file>                  write the self-contained program
+ *                                    image (dpulint's input format)
  *     --disasm                       print the disassembly
  *     --dot=<file>                   dump the input DAG as Graphviz
  *     --optimize                     run CSE+DCE before compiling
  *     --simulate                     run with random inputs + check
+ *     --verify                       run the static verifier on every
+ *                                    pipeline stage (compiler/verify)
  *     --window=N --partition=N --seed=N   compiler knobs
  *     --threads=N                    partition-parallel compile
  *                                    workers (byte-identical output
@@ -30,7 +34,9 @@
 #include <iostream>
 
 #include "arch/disasm.hh"
+#include "compiler/cache.hh"
 #include "compiler/compiler.hh"
+#include "compiler/verify.hh"
 #include "dag/io.hh"
 #include "dag/optimize.hh"
 #include "sim/machine.hh"
@@ -45,6 +51,7 @@ struct Args
 {
     std::string dagPath;
     std::string outPath;
+    std::string progPath;
     std::string dotPath;
     bool disasm = false;
     bool optimize = false;
@@ -89,8 +96,12 @@ parseArgs(int argc, char **argv, Args &args)
             u32("--regs", a + 7, args.cfg.regsPerBank);
         else if (std::strncmp(a, "--out=", 6) == 0)
             args.outPath = a + 6;
+        else if (std::strncmp(a, "--prog=", 7) == 0)
+            args.progPath = a + 7;
         else if (std::strncmp(a, "--dot=", 6) == 0)
             args.dotPath = a + 6;
+        else if (std::strcmp(a, "--verify") == 0)
+            args.opts.verify = true;
         else if (std::strcmp(a, "--disasm") == 0)
             args.disasm = true;
         else if (std::strcmp(a, "--optimize") == 0)
@@ -127,9 +138,9 @@ parseArgs(int argc, char **argv, Args &args)
     if (args.dagPath.empty()) {
         std::fprintf(stderr,
                      "usage: dpuc <dag-file> [--depth=N --banks=N "
-                     "--regs=N --out=F --disasm --dot=F --optimize "
-                     "--simulate --window=N --partition=N --seed=N "
-                     "--threads=N]\n");
+                     "--regs=N --out=F --prog=F --disasm --dot=F "
+                     "--optimize --simulate --verify --window=N "
+                     "--partition=N --seed=N --threads=N]\n");
         return 1;
     }
     return 0;
@@ -177,6 +188,12 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(s.spillStores),
                     double(s.numOperations) / s.cycles);
 
+        if (args.opts.verify)
+            std::printf("dpuc: verify: all stages clean (%llu "
+                        "instructions checked)\n",
+                        static_cast<unsigned long long>(
+                            s.instructions));
+
         if (args.disasm)
             disassembleProgram(args.cfg, prog.instructions, std::cout);
 
@@ -189,6 +206,17 @@ main(int argc, char **argv)
                       static_cast<std::streamsize>(image.size()));
             std::printf("dpuc: wrote %zu bytes to %s\n", image.size(),
                         args.outPath.c_str());
+        }
+
+        if (!args.progPath.empty()) {
+            auto image = serializeProgram(prog);
+            std::ofstream out(args.progPath, std::ios::binary);
+            if (!out)
+                dpu_fatal("cannot open '" + args.progPath + "'");
+            out.write(reinterpret_cast<const char *>(image.data()),
+                      static_cast<std::streamsize>(image.size()));
+            std::printf("dpuc: wrote %zu-byte program image to %s\n",
+                        image.size(), args.progPath.c_str());
         }
 
         if (args.simulate) {
@@ -207,6 +235,11 @@ main(int argc, char **argv)
     } catch (const FatalError &e) {
         std::fprintf(stderr, "dpuc: %s\n", e.what());
         return 1;
+    } catch (const VerifyError &e) {
+        std::fprintf(stderr, "dpuc: verification failed after %s:\n%s\n",
+                     e.stage().c_str(),
+                     e.report().toString().c_str());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "dpuc: internal error: %s\n", e.what());
         return 2;

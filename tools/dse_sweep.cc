@@ -16,6 +16,8 @@
  *     --resume            reuse completed points from the journal
  *     --cache-dir=<dir>   on-disk program-cache spill
  *     --no-cache          disable the program cache
+ *     --verify            statically verify every point compile
+ *                         (compiler/verify.hh; failures abort)
  *     --fidelity=<tier>   evaluation tier: cycle (default), table,
  *                         or analytic
  *     --table=<file>      fitted table model for the table tier
@@ -184,6 +186,8 @@ parseArgs(int argc, char **argv, Args &args)
                 args.sweep.space.transfer =
                     HostTransferModel::fromGbps(gbps,
                                                 tech28::frequencyHz);
+        } else if (std::strcmp(a, "--verify") == 0) {
+            args.sweep.verify = true;
         } else if (std::strcmp(a, "--refine") == 0) {
             args.sweep.refine = true;
         } else if (std::strncmp(a, "--refine-error=", 15) == 0) {
@@ -205,7 +209,7 @@ parseArgs(int argc, char **argv, Args &args)
                 "[--seed=N] [--threads=N] [--shards=N] "
                 "[--journal=<file>] [--resume] [--cache-dir=<dir>] "
                 "[--no-cache] [--fidelity=<tier>] [--table=<file>] "
-                "[--ranks=N] [--xfer-gbps=<v|inf>] "
+                "[--ranks=N] [--xfer-gbps=<v|inf>] [--verify] "
                 "[--refine] [--refine-error=<f>] [--quick] [--csv]\n",
                 a);
             return 1;
