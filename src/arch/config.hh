@@ -69,6 +69,9 @@ struct ArchConfig
                    "need at least one tree: B >= 2^D");
         dpu_assert((banks & (banks - 1)) == 0, "B must be a power of two");
         dpu_assert(banks % (1u << depth) == 0, "B must be T * 2^D");
+        if (banks > 64)
+            dpu_fatal("B > 64 unsupported: bank masks are 64-bit "
+                      "(requested B=" + std::to_string(banks) + ")");
         dpu_assert(regsPerBank >= 2, "R too small");
     }
 

@@ -89,7 +89,9 @@ struct Reader
     }
 };
 
-constexpr uint64_t programMagic = 0x3147524f50555044ull; // "DPUPROG1"
+// Bumped to "DPUPROG2" when stats.verifySeconds joined the image;
+// older spill files deserialize as misses.
+constexpr uint64_t programMagic = 0x3247524f50555044ull; // "DPUPROG2"
 
 } // namespace
 
@@ -140,20 +142,116 @@ dagStructuralHash(const Dag &dag)
     return h;
 }
 
+uint64_t
+rangeStructuralHash(const Dag &dag, NodeId lo, NodeId hi)
+{
+    dpu_assert(lo <= hi && hi <= dag.numNodes(), "bad hash range");
+    uint64_t h = 0x94d049bb133111ebull;
+    h = mix64(h, hi - lo);
+    for (NodeId v = lo; v < hi; ++v) {
+        const Node &n = dag.node(v);
+        h = mix64(h, n.isInput()
+                         ? 0ull
+                         : 1ull + static_cast<uint64_t>(n.op));
+        h = mix64(h, n.operands.size());
+        for (NodeId o : n.operands)
+            h = mix64(h, o >= lo
+                             ? static_cast<uint64_t>(o - lo)
+                             : 0x8000000000000000ull | o);
+    }
+    return h;
+}
+
 std::string
 programCacheKey(const Dag &dag, const ArchConfig &cfg,
                 const CompileOptions &options)
 {
     char suffix[160];
     std::snprintf(suffix, sizeof(suffix),
-                  "%016llx-D%u.B%u.R%u-n%d-m%u-b%d-w%u-p%u-s%llu",
+                  "%016llx-D%u.B%u.R%u-n%d-m%u-b%d-a%d-w%u-p%u-s%llu",
                   static_cast<unsigned long long>(dagStructuralHash(dag)),
                   cfg.depth, cfg.banks, cfg.regsPerBank,
                   static_cast<int>(cfg.outputNet), cfg.dataMemRows,
                   static_cast<int>(options.bankPolicy),
+                  static_cast<int>(options.boundaryAwareBanks),
                   options.reorderWindow, options.partitionNodes,
                   static_cast<unsigned long long>(options.seed));
     return suffix;
+}
+
+std::string
+fragmentCacheKey(uint64_t dagHash, std::pair<NodeId, NodeId> range,
+                 uint32_t part, const Dag &dag, const ArchConfig &cfg,
+                 const CompileOptions &options)
+{
+    char suffix[192];
+    std::snprintf(suffix, sizeof(suffix),
+                  "f%016llx-r%016llx.%u.%u-p%u-D%u.B%u-n%d-b%d-a%d-q%u"
+                  "-s%llu",
+                  static_cast<unsigned long long>(dagHash),
+                  static_cast<unsigned long long>(
+                      rangeStructuralHash(dag, range.first, range.second)),
+                  range.first, range.second, part, cfg.depth, cfg.banks,
+                  static_cast<int>(cfg.outputNet),
+                  static_cast<int>(options.bankPolicy),
+                  static_cast<int>(options.boundaryAwareBanks),
+                  options.partitionNodes,
+                  static_cast<unsigned long long>(options.seed));
+    return suffix;
+}
+
+FragmentCache::FragmentCache(size_t maxEntries_) : maxEntries(maxEntries_)
+{
+    dpu_assert(maxEntries >= 1, "fragment cache needs at least one slot");
+}
+
+std::shared_ptr<const CompiledFragment>
+FragmentCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = index.find(key);
+    if (it == index.end()) {
+        ++counters.misses;
+        return nullptr;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    ++counters.hits;
+    return it->second->frag;
+}
+
+void
+FragmentCache::store(const std::string &key, const RangeDecomposition &dec,
+                     const BankAssignment &banks, const IrFragment &frag)
+{
+    auto shared = std::make_shared<const CompiledFragment>(
+        CompiledFragment{dec, banks, frag});
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = index.find(key);
+    if (it != index.end()) {
+        it->second->frag = std::move(shared);
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    lru.push_front({key, std::move(shared)});
+    index[key] = lru.begin();
+    while (lru.size() > maxEntries) {
+        index.erase(lru.back().key);
+        lru.pop_back();
+    }
+}
+
+FragmentCache::Stats
+FragmentCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counters;
+}
+
+size_t
+FragmentCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return lru.size();
 }
 
 std::vector<uint8_t>
@@ -204,6 +302,7 @@ serializeProgram(const CompiledProgram &prog)
     w.u64(s.csrBits);
     w.u64(s.dataBits);
     w.f64(s.compileSeconds);
+    w.f64(s.verifySeconds);
     return std::move(w.buf);
 }
 
@@ -274,6 +373,7 @@ deserializeProgram(const std::vector<uint8_t> &image, CompiledProgram &out)
     s.csrBits = r.u64();
     s.dataBits = r.u64();
     s.compileSeconds = r.f64();
+    s.verifySeconds = r.f64();
     if (!r.ok || r.p != r.end)
         return false;
     out = std::move(prog);
@@ -281,7 +381,7 @@ deserializeProgram(const std::vector<uint8_t> &image, CompiledProgram &out)
 }
 
 ProgramCache::ProgramCache(ProgramCacheConfig config_)
-    : config(std::move(config_))
+    : config(std::move(config_)), fragments(config.maxFragments)
 {
     dpu_assert(config.maxEntries >= 1, "cache needs at least one slot");
     if (!config.diskDir.empty() &&
@@ -345,7 +445,11 @@ ProgramCache::compile(const Dag &dag, const ArchConfig &cfg,
         }
     }
 
-    CompiledProgram prog = dpu::compile(dag, cfg, options);
+    // A full compile still reuses per-partition fragments of earlier
+    // compiles (e.g. a DSE neighbor differing only in regsPerBank).
+    CompileOptions opts = options;
+    opts.fragmentCache = &fragments;
+    CompiledProgram prog = dpu::compile(dag, cfg, opts);
     auto shared = std::make_shared<const CompiledProgram>(prog);
     {
         std::lock_guard<std::mutex> lock(mutex);
@@ -422,8 +526,12 @@ ProgramCache::storeEvalStats(const std::string &key, uint8_t fidelity,
 ProgramCache::Stats
 ProgramCache::stats() const
 {
+    FragmentCache::Stats frag = fragments.stats();
     std::lock_guard<std::mutex> lock(mutex);
-    return counters;
+    Stats out = counters;
+    out.fragHits = frag.hits;
+    out.fragMisses = frag.misses;
+    return out;
 }
 
 size_t

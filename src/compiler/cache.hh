@@ -10,10 +10,13 @@
  * in-memory LRU with an optional on-disk spill directory so hits
  * survive across bench *processes*.
  *
- * CompileOptions::threads, ::validate and ::verify are deliberately
- * excluded from the key: the partition-parallel compiler is
- * byte-identical for every thread count, and validation/verification
- * only check the artifact, so none of them can change it.
+ * CompileOptions::threads, ::validate, ::verify and ::fragmentCache
+ * are deliberately excluded from the key: the partition-parallel
+ * compiler is byte-identical for every thread count,
+ * validation/verification only check the artifact, and fragment
+ * reuse is keyed to be output-preserving, so none of them can change
+ * it. ::boundaryAwareBanks *is* in the key — it changes the emitted
+ * program on partitioned compiles.
  *
  * The disk format is a native-endianness binary image (the cache
  * directory is a local build artifact, not a portable interchange
@@ -31,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "compiler/codegen.hh"
 #include "compiler/compiler.hh"
 #include "sim/machine.hh"
 
@@ -40,9 +44,87 @@ namespace dpu {
  *  DAGs with the same hash compile identically (modulo collisions). */
 uint64_t dagStructuralHash(const Dag &dag);
 
+/**
+ * Structural hash of the contiguous node range [lo, hi) — the sub-DAG
+ * one partition compiles. In-range operands hash by their offset from
+ * `lo`, external operands by global id, so the hash pins both the
+ * range's internal structure and how it hangs off the rest of the
+ * DAG.
+ */
+uint64_t rangeStructuralHash(const Dag &dag, NodeId lo, NodeId hi);
+
 /** The cache key as a printable token (also the spill file stem). */
 std::string programCacheKey(const Dag &dag, const ArchConfig &cfg,
                             const CompileOptions &options);
+
+/**
+ * Key of one partition's compiled fragment. Deliberately *excludes*
+ * regsPerBank, dataMemRows and reorderWindow: steps 1-2 and codegen
+ * never read them (registers and the reorder window only matter from
+ * step 3 on), so DSE points differing only in those axes share
+ * fragments — a much finer reuse grain than whole-program hits.
+ */
+std::string fragmentCacheKey(uint64_t dagHash,
+                             std::pair<NodeId, NodeId> range, uint32_t part,
+                             const Dag &dag, const ArchConfig &cfg,
+                             const CompileOptions &options);
+
+/**
+ * Per-partition compile artifacts (steps 1-2 + codegen output) that a
+ * later compile of the same sub-DAG under a compatible configuration
+ * can reuse instead of recomputing — see fragmentCacheKey for what
+ * "compatible" means.
+ */
+struct CompiledFragment
+{
+    RangeDecomposition dec;
+    BankAssignment banks; ///< Range-local (indexed v - range.first).
+    IrFragment frag;      ///< Unscheduled codegen output.
+};
+
+/**
+ * A thread-safe bounded LRU of compiled fragments, shared across the
+ * compiles of one ProgramCache (or wired directly via
+ * CompileOptions::fragmentCache). Entries are immutable behind
+ * shared_ptr, so a hit is a cheap pointer copy under the lock and the
+ * caller deep-copies outside it.
+ */
+class FragmentCache
+{
+  public:
+    explicit FragmentCache(size_t maxEntries = 128);
+
+    /** Fetch a fragment; counts a hit or miss. */
+    std::shared_ptr<const CompiledFragment>
+    lookup(const std::string &key);
+
+    /** Remember a fragment (copies the artifacts). */
+    void store(const std::string &key, const RangeDecomposition &dec,
+               const BankAssignment &banks, const IrFragment &frag);
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+    Stats stats() const;
+
+    /** Fragments currently resident. */
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::shared_ptr<const CompiledFragment> frag;
+    };
+
+    mutable std::mutex mutex;
+    size_t maxEntries;
+    std::list<Entry> lru; ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    Stats counters;
+};
 
 /**
  * Create `dir` (recursively) if missing and verify it is writable by
@@ -64,6 +146,9 @@ struct ProgramCacheConfig
 {
     /** In-memory LRU capacity in programs. */
     size_t maxEntries = 32;
+
+    /** Capacity of the per-partition fragment cache (entries). */
+    size_t maxFragments = 128;
 
     /** Spill directory shared across processes; empty = memory only.
      *  Probed at construction: when it cannot be created or written
@@ -127,6 +212,8 @@ class ProgramCache
                                   ///  verifier); each was a miss.
         uint64_t evalHits = 0;   ///< Eval-stats memo hits.
         uint64_t evalMisses = 0; ///< Eval-stats memo misses.
+        uint64_t fragHits = 0;   ///< Per-partition fragment reuses.
+        uint64_t fragMisses = 0; ///< Fragments compiled from scratch.
 
         /** Total compile() lookups (hits + diskHits + misses). */
         uint64_t lookups() const { return hits + diskHits + misses; }
@@ -167,6 +254,7 @@ class ProgramCache
                       std::shared_ptr<const CompiledProgram> prog);
 
     ProgramCacheConfig config;
+    FragmentCache fragments; ///< Shared by every compile() miss.
     mutable std::mutex mutex;
     std::list<Entry> lru; ///< Front = most recently used.
     std::unordered_map<std::string, std::list<Entry>::iterator> index;

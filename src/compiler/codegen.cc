@@ -506,6 +506,142 @@ mergeIrFragments(const Dag &dag, const ArchConfig &cfg,
     return out;
 }
 
+ScheduledIrMerger::ScheduledIrMerger(const Dag &dag_, const ArchConfig &cfg_,
+                                     const BankAssignment &banks_,
+                                     const CodegenShared &shared_)
+    : dag(dag_), cfg(cfg_), banks(banks_), shared(shared_)
+{
+    out.inputLocation.assign(shared.numInputs, {0, 0});
+    instOf.assign(dag.numNodes(), invalidInstance);
+    rowCounter.assign(cfg.banks, 0);
+}
+
+void
+ScheduledIrMerger::append(IrFragment &&f, size_t numBlocks)
+{
+    const uint32_t inst_offset = static_cast<uint32_t>(out.instances.size());
+    out.instances.insert(out.instances.end(), f.ir.instances.begin(),
+                         f.ir.instances.end());
+    readyAt.resize(out.instances.size(), 0);
+    for (auto [value, id] : f.defs)
+        instOf[value] = id + inst_offset;
+
+    // Pass 1: resolve reads/writes to merged instance ids and find
+    // the boundary padding: the fragment was scheduled assuming
+    // external values are readable at its cycle 0, so shift it until
+    // every cross-fragment producer's write latency has elapsed.
+    const uint64_t base = out.instrs.size();
+    uint64_t shift = 0;
+    for (size_t i = 0; i < f.ir.instrs.size(); ++i) {
+        IrInstr &in = f.ir.instrs[i];
+        for (IrRead &r : in.reads) {
+            if (IrFragment::isExternal(r.inst)) {
+                NodeId v = f.externals[r.inst & ~IrFragment::externalFlag];
+                dpu_assert(instOf[v] != invalidInstance,
+                           "external reference before definition");
+                r.inst = instOf[v];
+            } else {
+                r.inst += inst_offset;
+            }
+            if (r.inst < inst_offset) { // produced by an earlier fragment
+                const uint64_t pos = base + i;
+                if (readyAt[r.inst] > pos)
+                    shift = std::max(shift, readyAt[r.inst] - pos);
+            }
+        }
+        for (IrWrite &w : in.writes)
+            w.inst += inst_offset;
+        if (in.kind == InstrKind::Exec)
+            in.blockId += blockOffset;
+    }
+    boundaryNopCount += shift;
+    for (uint64_t k = 0; k < shift; ++k)
+        out.instrs.push_back(IrInstr{}); // nop
+
+    // Pass 2: replay load rows against the global fill levels and
+    // record when each write becomes readable.
+    for (IrInstr &in : f.ir.instrs) {
+        if (in.kind == InstrKind::Load) {
+            uint32_t row = 0;
+            for (const IrWrite &w : in.writes)
+                row = std::max(row, rowCounter[out.instances[w.inst].bank]);
+            in.memRow = row;
+            for (const IrWrite &w : in.writes) {
+                const RegInstance &inst = out.instances[w.inst];
+                rowCounter[inst.bank] = row + 1;
+                out.inputLocation[shared.inputIndexOf[inst.value]] =
+                    {row, inst.bank};
+            }
+            inputRows = std::max(inputRows, row + 1);
+        }
+        const uint64_t pos = out.instrs.size();
+        for (const IrWrite &w : in.writes)
+            readyAt[w.inst] = pos + writeLatency(in.kind, cfg);
+        out.instrs.push_back(std::move(in));
+    }
+    out.copyResolvedConflicts += f.ir.copyResolvedConflicts;
+    blockOffset += static_cast<uint32_t>(numBlocks);
+}
+
+void
+ScheduledIrMerger::finish()
+{
+    std::vector<NodeId> compute_sinks;
+    for (NodeId s : dag.sinks()) {
+        if (dag.node(s).isInput()) {
+            dpu_assert(instOf[s] == invalidInstance,
+                       "input sink was loaded");
+            uint32_t bank = banks.bankOf[s];
+            uint32_t row = rowCounter[bank]++;
+            inputRows = std::max(inputRows, row + 1);
+            out.inputLocation[shared.inputIndexOf[s]] = {row, bank};
+            out.outputs.push_back({s, row, bank});
+        } else {
+            compute_sinks.push_back(s);
+        }
+    }
+    uint32_t out_row = inputRows;
+    while (!compute_sinks.empty()) {
+        uint64_t used = 0;
+        std::vector<NodeId> batch;
+        for (auto it = compute_sinks.begin(); it != compute_sinks.end();) {
+            uint32_t bank = banks.bankOf[*it];
+            if (used >> bank & 1) {
+                ++it;
+                continue;
+            }
+            used |= uint64_t(1) << bank;
+            batch.push_back(*it);
+            it = compute_sinks.erase(it);
+        }
+        IrInstr store;
+        store.kind = batch.size() <= 4 ? InstrKind::Store4
+                                       : InstrKind::Store;
+        store.memRow = out_row;
+        uint64_t need = 0;
+        for (NodeId v : batch) {
+            dpu_assert(shared.lastReaderPart[v] ==
+                       CodegenShared::storeSentinel,
+                       "store must be the final read");
+            dpu_assert(instOf[v] != invalidInstance,
+                       "stored value never defined");
+            store.reads.push_back({instOf[v], true});
+            out.outputs.push_back({v, out_row, banks.bankOf[v]});
+            need = std::max(need, readyAt[instOf[v]]);
+        }
+        // The store reads registers like any instruction: pad until
+        // the last producing write has landed.
+        while (out.instrs.size() < need) {
+            out.instrs.push_back(IrInstr{}); // nop
+            ++boundaryNopCount;
+        }
+        out.instrs.push_back(std::move(store));
+        ++out_row;
+    }
+    out.inputRows = inputRows;
+    out.outputRows = out_row - inputRows;
+}
+
 IrProgram
 generateIr(const Dag &dag, const ArchConfig &cfg,
            const BlockDecomposition &dec, const BankAssignment &banks)

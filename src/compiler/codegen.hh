@@ -117,6 +117,51 @@ IrProgram generateIr(const Dag &dag, const ArchConfig &cfg,
                      const BlockDecomposition &dec,
                      const BankAssignment &banks);
 
+/**
+ * Incremental merge of *already scheduled* fragments (the pipelined
+ * steps 3-4 path): append() consumes fragments strictly in partition
+ * order — resolving externals, replaying load rows, offsetting block
+ * ids exactly like mergeIrFragments() — and additionally preserves
+ * the per-fragment schedules: whenever an instruction reads a value
+ * written near the end of an earlier fragment, nops pad the boundary
+ * until that write's latency has elapsed, so the merged stream is
+ * hazard-free without a whole-program reorder. finish() emits the
+ * final stores (padded the same way). Deterministic given the
+ * fragments, hence independent of how many threads produced them.
+ */
+class ScheduledIrMerger
+{
+  public:
+    ScheduledIrMerger(const Dag &dag, const ArchConfig &cfg,
+                      const BankAssignment &banks,
+                      const CodegenShared &shared);
+
+    /** Append the next partition's scheduled fragment. */
+    void append(IrFragment &&frag, size_t numBlocks);
+
+    /** Emit the final stores; the merge is complete afterwards. */
+    void finish();
+
+    /** The merged program (grows with each append). */
+    const IrProgram &ir() const { return out; }
+
+    /** Nops inserted at fragment boundaries and before stores. */
+    uint64_t boundaryNops() const { return boundaryNopCount; }
+
+  private:
+    const Dag &dag;
+    const ArchConfig &cfg;
+    const BankAssignment &banks;
+    const CodegenShared &shared;
+    IrProgram out;
+    std::vector<InstanceId> instOf; ///< Primary instance per value.
+    std::vector<uint64_t> readyAt;  ///< Write-landed cycle per instance.
+    std::vector<uint32_t> rowCounter;
+    uint32_t inputRows = 0;
+    uint32_t blockOffset = 0;
+    uint64_t boundaryNopCount = 0;
+};
+
 } // namespace dpu
 
 #endif // DPU_COMPILER_CODEGEN_HH

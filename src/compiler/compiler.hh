@@ -18,11 +18,21 @@
 
 namespace dpu {
 
+class FragmentCache;
+
 /** Knobs of the compilation pipeline. */
 struct CompileOptions
 {
     /** Step-2 policy (Random is the fig. 10(b) baseline). */
     BankPolicy bankPolicy = BankPolicy::ConflictAware;
+
+    /** Boundary-aware step 2 on partitioned compiles: each range's
+     *  mapper sees the bank occupancy of earlier ranges, so values
+     *  co-read across a partition boundary avoid each other's banks
+     *  (fewer read conflicts, fewer copy instructions). Ranges are
+     *  then mapped sequentially — decomposition and codegen still
+     *  fan out. No effect on unpartitioned compiles. */
+    bool boundaryAwareBanks = true;
 
     /** Step-3 look-ahead window (paper: 300). */
     uint32_t reorderWindow = 300;
@@ -49,11 +59,21 @@ struct CompileOptions
 #endif
 
     /** Host worker threads for partition-parallel compilation. Each
-     *  partition's block decomposition, bank mapping and IR codegen
-     *  run concurrently; the merged program is byte-identical for
-     *  every thread count (and to threads = 1). Only effective when
-     *  partitionNodes yields more than one partition. */
+     *  partition's block decomposition, bank mapping, IR codegen,
+     *  pipeline reorder and finalize run concurrently (steps 3-4 are
+     *  pipelined against codegen per partition); the merged program
+     *  is byte-identical for every thread count (and to threads = 1).
+     *  Only effective when partitionNodes yields more than one
+     *  partition. */
     uint32_t threads = 1;
+
+    /** Optional per-partition fragment cache (see compiler/cache.hh):
+     *  partitions whose sub-DAG and configuration subset match a
+     *  previous compile reuse its decomposition/mapping/codegen
+     *  artifacts. Reuse is keyed to be output-preserving, so this
+     *  never changes the emitted program. nullptr = off.
+     *  ProgramCache wires its own instance here automatically. */
+    FragmentCache *fragmentCache = nullptr;
 };
 
 /**

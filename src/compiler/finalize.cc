@@ -7,8 +7,7 @@
 #include "support/bitvec.hh"
 
 namespace dpu {
-
-namespace {
+namespace detail {
 
 constexpr uint32_t noAddr = static_cast<uint32_t>(-1);
 
@@ -17,52 +16,72 @@ struct InstState
 {
     uint32_t addr = noAddr;     ///< Current register, noAddr if absent.
     uint64_t readableAt = 0;    ///< Issue time when data has landed.
-    uint32_t spillRow = noAddr; ///< Memory copy, if ever spilled.
+    uint32_t spillRow = noAddr; ///< Memory copy (chunk-relative row).
     uint32_t nextUseIdx = 0;    ///< Cursor into `uses`.
     std::vector<uint32_t> uses; ///< IR indices of reads, ascending.
 };
 
-class Finalizer
+class FinalizerImpl
 {
   public:
-    Finalizer(IrProgram &&ir_in, const ArchConfig &cfg,
-              const BlockDecomposition &dec)
-        : ir(std::move(ir_in)), cfg(cfg), dec(dec)
-    {}
+    FinalizerImpl(const ArchConfig &cfg,
+                  ProgramFinalizer::BlockResolver blocks)
+        : cfg(cfg), blockAt(std::move(blocks))
+    {
+        occupant.assign(cfg.banks,
+                        std::vector<InstanceId>(cfg.regsPerBank,
+                                                invalidInstance));
+        valid.assign(cfg.banks, BitVec(cfg.regsPerBank));
+        spillCount.assign(cfg.banks, 0);
+    }
+
+    void
+    appendChunk(const IrProgram &ir, size_t fromInstr, size_t fromInstance)
+    {
+        instances.insert(instances.end(),
+                         ir.instances.begin() +
+                             static_cast<ptrdiff_t>(fromInstance),
+                         ir.instances.end());
+        state.resize(instances.size());
+        for (size_t i = fromInstr; i < ir.instrs.size(); ++i)
+            for (const IrRead &r : ir.instrs[i].reads)
+                state[r.inst].uses.push_back(static_cast<uint32_t>(i));
+
+        curIr = &ir;
+        chunkEnd = static_cast<uint32_t>(ir.instrs.size());
+        for (irIndex = static_cast<uint32_t>(fromInstr);
+             irIndex < chunkEnd; ++irIndex) {
+            prefetchReloads();
+            emit(ir.instrs[irIndex]);
+        }
+        curIr = nullptr;
+    }
 
     CompiledProgram
-    run()
+    finish(const IrProgram &ir, size_t numBlocks)
     {
+        // Every register must have been freed by a final read.
+        for (uint32_t b = 0; b < cfg.banks; ++b)
+            dpu_assert(valid[b].none(), "register file leak");
+
         prog.cfg = cfg;
         prog.inputLocation = ir.inputLocation;
         for (const auto &o : ir.outputs)
             prog.outputs.push_back({o.node, o.row, o.col});
         prog.stats.bankConflicts = ir.copyResolvedConflicts;
-        prog.stats.blocks = dec.blocks.size();
+        prog.stats.blocks = numBlocks;
 
-        state.resize(ir.instances.size());
-        for (uint32_t i = 0; i < ir.instrs.size(); ++i)
-            for (const IrRead &r : ir.instrs[i].reads)
-                state[r.inst].uses.push_back(i);
+        // Spill rows were allocated relative; rebase them just past
+        // the now-final input/output region.
+        const uint32_t spillBase = ir.inputRows + ir.outputRows;
+        for (size_t idx : spillStoreFixups)
+            std::get<Store4Instr>(prog.instructions[idx]).memRow +=
+                spillBase;
+        for (size_t idx : reloadFixups)
+            std::get<LoadInstr>(prog.instructions[idx]).memRow +=
+                spillBase;
+        prog.numRows = spillBase + relSpillRows;
 
-        occupant.assign(cfg.banks,
-                        std::vector<InstanceId>(cfg.regsPerBank,
-                                                invalidInstance));
-        valid.assign(cfg.banks, BitVec(cfg.regsPerBank));
-        spillBase = ir.inputRows + ir.outputRows;
-        nextSpillRow = spillBase;
-        spillCount.assign(cfg.banks, 0);
-
-        for (irIndex = 0; irIndex < ir.instrs.size(); ++irIndex) {
-            prefetchReloads();
-            emit(ir.instrs[irIndex]);
-        }
-
-        // Every register must have been freed by a final read.
-        for (uint32_t b = 0; b < cfg.banks; ++b)
-            dpu_assert(valid[b].none(), "register file leak");
-
-        prog.numRows = nextSpillRow;
         for (const Instruction &in : prog.instructions)
             ++prog.stats.kindCount[static_cast<size_t>(kindOf(in))];
         prog.stats.instructions = prog.instructions.size();
@@ -83,7 +102,7 @@ class Finalizer
         InstState &st = state[r.inst];
         dpu_assert(st.addr != noAddr, "read of non-resident instance");
         dpu_assert(st.readableAt <= now(), "unresolved pipeline hazard");
-        uint32_t bank = ir.instances[r.inst].bank;
+        uint32_t bank = instances[r.inst].bank;
         uint32_t addr = st.addr;
         dpu_assert(st.nextUseIdx < st.uses.size() &&
                    st.uses[st.nextUseIdx] == irIndex,
@@ -97,7 +116,8 @@ class Finalizer
         return {bank, addr};
     }
 
-    /** IR index of an instance's next read (infinity if none). */
+    /** IR index of an instance's next read (infinity if none known —
+     *  a cross-chunk use not yet appended counts as furthest). */
     uint32_t
     nextUse(InstanceId id) const
     {
@@ -150,10 +170,12 @@ class Finalizer
         if (row == noAddr) {
             // Spill slots are packed per column: bank b's k-th spill
             // goes to (spillBase + k, column b), so a row serves up
-            // to B spilled values and memory stays dense.
-            row = spillBase + spillCount[bank]++;
+            // to B spilled values and memory stays dense. Rows are
+            // relative here; finish() rebases them past the final
+            // input/output region.
+            row = spillCount[bank]++;
             st.spillRow = row;
-            nextSpillRow = std::max(nextSpillRow, row + 1);
+            relSpillRows = std::max(relSpillRows, row + 1);
         }
         // The memory copy of an immutable value stays valid, so a
         // re-spill still emits the store (a read is the only way the
@@ -166,6 +188,7 @@ class Finalizer
         occupant[bank][st.addr] = invalidInstance;
         st.addr = noAddr;
         prog.instructions.push_back(s4);
+        spillStoreFixups.push_back(prog.instructions.size() - 1);
         ++prog.stats.spillStores;
     }
 
@@ -173,7 +196,7 @@ class Finalizer
     void
     place(InstanceId id, InstrKind producer, const IrInstr &current)
     {
-        uint32_t bank = ir.instances[id].bank;
+        uint32_t bank = instances[id].bank;
         if (valid[bank].firstZero() == cfg.regsPerBank)
             spillOne(bank, current);
         size_t addr = valid[bank].firstZero();
@@ -196,18 +219,34 @@ class Finalizer
             state[w.inst].readableAt = pos + writeLatency(in.kind, cfg);
     }
 
+    /** Emit a reload of a spilled instance (relative row; fixed up at
+     *  finish). */
+    void
+    emitReload(InstanceId id)
+    {
+        LoadInstr ld;
+        ld.memRow = state[id].spillRow;
+        ld.enable.assign(cfg.banks, false);
+        ld.enable[instances[id].bank] = true;
+        prog.instructions.push_back(std::move(ld));
+        reloadFixups.push_back(prog.instructions.size() - 1);
+        ++prog.stats.reloads;
+    }
+
     /**
      * Reload-prefetch: look 1-2 IR instructions ahead and bring their
      * spilled operands back now, so the 2-cycle load latency hides
      * behind the intervening instructions instead of costing a nop.
+     * The look-ahead stops at the current chunk's end — the next
+     * chunk may not have been merged yet.
      */
     void
     prefetchReloads()
     {
         for (uint32_t k = 1; k <= 2; ++k) {
-            if (irIndex + k >= ir.instrs.size())
+            if (irIndex + k >= chunkEnd)
                 break;
-            const IrInstr &future = ir.instrs[irIndex + k];
+            const IrInstr &future = curIr->instrs[irIndex + k];
             for (const IrRead &r : future.reads) {
                 InstState &st = state[r.inst];
                 // Only instances that are currently swapped out: a
@@ -215,14 +254,9 @@ class Finalizer
                 if (st.addr != noAddr || st.spillRow == noAddr)
                     continue;
                 place(r.inst, InstrKind::Load, future);
-                LoadInstr ld;
-                ld.memRow = st.spillRow;
-                ld.enable.assign(cfg.banks, false);
-                ld.enable[ir.instances[r.inst].bank] = true;
-                prog.instructions.push_back(ld);
+                emitReload(r.inst);
                 state[r.inst].readableAt =
                     prog.instructions.size() - 1 + 2;
-                ++prog.stats.reloads;
             }
         }
     }
@@ -240,12 +274,7 @@ class Finalizer
             dpu_assert(st.spillRow != noAddr,
                        "non-resident instance without a memory copy");
             place(r.inst, InstrKind::Load, in);
-            LoadInstr ld;
-            ld.memRow = st.spillRow;
-            ld.enable.assign(cfg.banks, false);
-            ld.enable[ir.instances[r.inst].bank] = true;
-            prog.instructions.push_back(ld);
-            ++prog.stats.reloads;
+            emitReload(r.inst);
             any = true;
         }
         if (any) {
@@ -269,7 +298,7 @@ class Finalizer
             ld.enable.assign(cfg.banks, false);
             for (const IrWrite &w : in.writes) {
                 place(w.inst, InstrKind::Load, in);
-                ld.enable[ir.instances[w.inst].bank] = true;
+                ld.enable[instances[w.inst].bank] = true;
             }
             prog.instructions.push_back(std::move(ld));
             fixWriteTimes(in);
@@ -290,7 +319,7 @@ class Finalizer
                 cp.slots[k] = {true, static_cast<uint16_t>(src_bank),
                                static_cast<uint16_t>(src_addr),
                                static_cast<uint16_t>(
-                                   ir.instances[in.writes[k].inst].bank)};
+                                   instances[in.writes[k].inst].bank)};
             }
             prog.instructions.push_back(std::move(cp));
             fixWriteTimes(in);
@@ -299,7 +328,7 @@ class Finalizer
 
           case InstrKind::Exec: {
             reloadSpilledReads(in);
-            const Block &blk = dec.blocks[in.blockId];
+            const Block &blk = blockAt(in.blockId);
             ExecInstr ex;
             ex.peOp = blk.peOps;
             ex.inputSel.assign(in.inputSel.begin(), in.inputSel.end());
@@ -313,7 +342,7 @@ class Finalizer
                 ex.validRst[bank] = r.lastRead;
             }
             for (const IrWrite &w : in.writes) {
-                const RegInstance &inst = ir.instances[w.inst];
+                const RegInstance &inst = instances[w.inst];
                 place(w.inst, InstrKind::Exec, in);
                 ex.writeEnable[inst.bank] = true;
                 ex.outputSel[inst.bank] = static_cast<uint16_t>(
@@ -361,27 +390,55 @@ class Finalizer
         dpu_panic("unhandled IR instruction kind");
     }
 
-    IrProgram ir;
     const ArchConfig &cfg;
-    const BlockDecomposition &dec;
+    ProgramFinalizer::BlockResolver blockAt;
 
     CompiledProgram prog;
+    std::vector<RegInstance> instances;
     std::vector<InstState> state;
     std::vector<std::vector<InstanceId>> occupant;
     std::vector<BitVec> valid;
-    uint32_t spillBase = 0;
-    uint32_t nextSpillRow = 0;
+    uint32_t relSpillRows = 0;
     std::vector<uint32_t> spillCount;
+    std::vector<size_t> spillStoreFixups;
+    std::vector<size_t> reloadFixups;
+    const IrProgram *curIr = nullptr;
+    uint32_t chunkEnd = 0;
     uint32_t irIndex = 0;
 };
 
-} // namespace
+} // namespace detail
+
+ProgramFinalizer::ProgramFinalizer(const ArchConfig &cfg,
+                                   BlockResolver blocks)
+    : impl(std::make_unique<detail::FinalizerImpl>(cfg, std::move(blocks)))
+{}
+
+ProgramFinalizer::~ProgramFinalizer() = default;
+
+void
+ProgramFinalizer::appendChunk(const IrProgram &ir, size_t fromInstr,
+                              size_t fromInstance)
+{
+    impl->appendChunk(ir, fromInstr, fromInstance);
+}
+
+CompiledProgram
+ProgramFinalizer::finish(const IrProgram &ir, size_t numBlocks)
+{
+    return impl->finish(ir, numBlocks);
+}
 
 CompiledProgram
 finalizeProgram(IrProgram &&ir, const ArchConfig &cfg,
                 const BlockDecomposition &dec)
 {
-    return Finalizer(std::move(ir), cfg, dec).run();
+    IrProgram local = std::move(ir);
+    ProgramFinalizer fin(cfg, [&dec](uint32_t id) -> const Block & {
+        return dec.blocks[id];
+    });
+    fin.appendChunk(local, 0, 0);
+    return fin.finish(local, dec.blocks.size());
 }
 
 } // namespace dpu

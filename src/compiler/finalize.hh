@@ -16,14 +16,66 @@
 #ifndef DPU_COMPILER_FINALIZE_HH
 #define DPU_COMPILER_FINALIZE_HH
 
+#include <functional>
+#include <memory>
+
 #include "compiler/blocks.hh"
 #include "compiler/ir.hh"
 #include "compiler/program.hh"
 
 namespace dpu {
 
+namespace detail {
+class FinalizerImpl;
+}
+
 /**
- * Run step 4 on a scheduled IR program.
+ * Incremental step 4: consumes the scheduled IR chunk by chunk (one
+ * chunk per merged partition in the pipelined compile path), emitting
+ * final instructions as each chunk arrives instead of waiting for the
+ * whole stream. Chunks must arrive in stream order; the result is
+ * byte-identical to finalizing the concatenated stream in one pass,
+ * except that spill-reload prefetching never looks across a chunk
+ * boundary (the next chunk may not exist yet) — the in-order reload
+ * fallback covers those reads. Spill rows are allocated relative and
+ * rebased below the input/output region at finish(), when the final
+ * row counts are known.
+ */
+class ProgramFinalizer
+{
+  public:
+    /** Resolves a global block id to its Block (peOps for execs). */
+    using BlockResolver = std::function<const Block &(uint32_t)>;
+
+    ProgramFinalizer(const ArchConfig &cfg, BlockResolver blocks);
+    ~ProgramFinalizer();
+    ProgramFinalizer(const ProgramFinalizer &) = delete;
+    ProgramFinalizer &operator=(const ProgramFinalizer &) = delete;
+
+    /**
+     * Finalize ir.instrs[fromInstr..) over instances
+     * ir.instances[fromInstance..) appended since the previous chunk.
+     * `ir` must contain the full merged stream so far (IR indices are
+     * global).
+     */
+    void appendChunk(const IrProgram &ir, size_t fromInstr,
+                     size_t fromInstance);
+
+    /**
+     * Rebase the spill rows on ir's final input/output region, check
+     * for register leaks, and fill the step 1-4 stats (workload-level
+     * fields are left for the driver, as before).
+     */
+    CompiledProgram finish(const IrProgram &ir, size_t numBlocks);
+
+  private:
+    std::unique_ptr<detail::FinalizerImpl> impl;
+};
+
+/**
+ * Run step 4 on a complete scheduled IR program (single-chunk
+ * convenience wrapper around ProgramFinalizer; byte-identical to the
+ * historical monolithic pass).
  *
  * @param ir Scheduled IR (consumed).
  * @param cfg Architecture configuration.

@@ -47,9 +47,11 @@ class BankMapper
     BankMapper(const Dag &dag, const ArchConfig &cfg,
                const std::vector<Block> &blocks, NodeId lo, NodeId hi,
                const uint32_t *block_of, const uint8_t *is_io,
-               BankPolicy policy, uint64_t seed)
+               BankPolicy policy, uint64_t seed,
+               const uint32_t *ext_bank_of = nullptr)
         : dag(dag), cfg(cfg), blocks(blocks), lo(lo), hi(hi),
-          blockOf(block_of), isIo(is_io), policy(policy), rng(seed)
+          blockOf(block_of), isIo(is_io), policy(policy), rng(seed),
+          extBankOf(ext_bank_of)
     {
         dpu_assert(cfg.banks <= 64, "bank masks are 64-bit");
         dpu_assert(lo <= hi && hi <= dag.numNodes(), "bad mapper range");
@@ -107,6 +109,26 @@ class BankMapper
         return m;
     }
 
+    /**
+     * Banks occupied by already-fixed values of *earlier* ranges that
+     * some block reads together with v (the boundary-aware extension
+     * of objective I — without it, cross-partition co-reads land in
+     * the same bank and each costs a copy instruction at codegen).
+     */
+    BankMask
+    externalConflictMask(NodeId v) const
+    {
+        BankMask m = 0;
+        for (uint32_t rb : readerBlocks[idx(v)])
+            for (NodeId w : blocks[rb].inputs)
+                if (w != v && !inRange(w)) {
+                    uint32_t b = extBankOf[w];
+                    if (b != BankAssignment::invalid)
+                        m |= BankMask(1) << b;
+                }
+        return m;
+    }
+
     void
     initCompatibility()
     {
@@ -117,6 +139,12 @@ class BankMapper
         for (NodeId v : ioValues) {
             phys[idx(v)] = physicalMask(v);
             sb[idx(v)] = phys[idx(v)];
+            // Boundary-aware: co-read banks of earlier ranges shrink
+            // the compatibility set up front (possibly to empty — the
+            // greedy pass then falls back to the least-contended
+            // physical bank, where external occupancy counts too).
+            if (extBankOf)
+                sb[idx(v)] &= ~externalConflictMask(v);
             moveToBucket(v, popcount(sb[idx(v)]));
         }
     }
@@ -196,9 +224,15 @@ class BankMapper
     {
         std::vector<uint32_t> c(cfg.banks, 0);
         auto tally = [&](NodeId w) {
-            if (w != v && inRange(w) &&
-                out.bankOf[idx(w)] != BankAssignment::invalid)
-                ++c[out.bankOf[idx(w)]];
+            if (w == v)
+                return;
+            if (inRange(w)) {
+                if (out.bankOf[idx(w)] != BankAssignment::invalid)
+                    ++c[out.bankOf[idx(w)]];
+            } else if (extBankOf &&
+                       extBankOf[w] != BankAssignment::invalid) {
+                ++c[extBankOf[w]]; // fixed by an earlier range
+            }
         };
         for (NodeId w : blockOutputs(v))
             tally(w);
@@ -351,6 +385,7 @@ class BankMapper
     const uint8_t *isIo;     ///< Range-local io marks (idx space).
     BankPolicy policy;
     Rng rng;
+    const uint32_t *extBankOf; ///< Global bankOf of earlier ranges.
     BankAssignment out;
 
     std::vector<NodeId> ioValues;
@@ -383,11 +418,17 @@ assignBanks(const Dag &dag, const ArchConfig &cfg,
 BankAssignment
 assignBanksForRange(const Dag &dag, const ArchConfig &cfg,
                     const RangeDecomposition &dec, BankPolicy policy,
-                    uint64_t seed)
+                    uint64_t seed, const std::vector<uint32_t> *externalBanks)
 {
+    const uint32_t *ext = nullptr;
+    if (externalBanks) {
+        dpu_assert(externalBanks->size() == dag.numNodes(),
+                   "external bank view must cover the whole DAG");
+        ext = externalBanks->data();
+    }
     return BankMapper(dag, cfg, dec.blocks, dec.range.first,
                       dec.range.second, dec.blockOf.data(),
-                      dec.isIo.data(), policy, seed)
+                      dec.isIo.data(), policy, seed, ext)
         .run();
 }
 
@@ -395,10 +436,18 @@ uint64_t
 countReadConflicts(const BlockDecomposition &dec,
                    const BankAssignment &assignment)
 {
+    // The scratch array is sized from the assignment itself, not a
+    // hardcoded bank count: configurations beyond 64 banks are
+    // rejected by ArchConfig::check(), but this helper is public and
+    // must not write out of bounds for any input.
+    uint32_t banks = 64;
+    for (uint32_t b : assignment.bankOf)
+        if (b != BankAssignment::invalid && b >= banks)
+            banks = b + 1;
     uint64_t conflicts = 0;
     std::vector<uint32_t> seen;
     for (const Block &b : dec.blocks) {
-        seen.assign(64, 0);
+        seen.assign(banks, 0);
         for (NodeId v : b.inputs) {
             uint32_t bank = assignment.bankOf[v];
             dpu_assert(bank != BankAssignment::invalid, "unmapped input");

@@ -76,13 +76,24 @@ BankAssignment assignBanks(const Dag &dag, const ArchConfig &cfg,
  * values first read together across a partition boundary are not
  * optimized (they are still resolved correctly by copies later).
  *
+ * `externalBanks` makes the mapper *boundary-aware*: a whole-DAG
+ * bankOf vector whose entries for earlier ranges are already fixed
+ * (later ranges: invalid). Cross-boundary co-read banks then shrink a
+ * value's compatibility set and count toward bank contention, cutting
+ * the read conflicts the boundary-oblivious mapper pays on
+ * partitioned compiles. Mapping then depends on earlier ranges, so
+ * ranges must be mapped in ascending order (still deterministic).
+ * Pass nullptr for the historical boundary-oblivious behavior.
+ *
  * The returned bankOf/peOf are range-local (indexed v - range.first)
  * and readConflicts is left at 0 — count it globally after merging.
  */
 BankAssignment assignBanksForRange(const Dag &dag, const ArchConfig &cfg,
                                    const RangeDecomposition &dec,
                                    BankPolicy policy = BankPolicy::ConflictAware,
-                                   uint64_t seed = 1);
+                                   uint64_t seed = 1,
+                                   const std::vector<uint32_t> *externalBanks =
+                                       nullptr);
 
 /** Recount read conflicts of an assignment (test/diagnostic helper). */
 uint64_t countReadConflicts(const BlockDecomposition &dec,

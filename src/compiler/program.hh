@@ -45,6 +45,12 @@ struct CompileStats
 
     double compileSeconds = 0.0;
 
+    /** Wall-clock seconds spent in the three optional static-verifier
+     *  passes (CompileOptions::verify); excluded from compileSeconds
+     *  so Debug/sanitizer builds report like-for-like compile
+     *  latency. Zero when verification is off. */
+    double verifySeconds = 0.0;
+
     /** 1 when this program came out of a ProgramCache instead of a
      *  fresh compile (compileSeconds is then the fetch time). */
     uint64_t cacheHits = 0;

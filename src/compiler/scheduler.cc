@@ -4,6 +4,7 @@
 #include <map>
 #include <queue>
 
+#include "compiler/codegen.hh"
 #include "support/logging.hh"
 
 namespace dpu {
@@ -24,13 +25,23 @@ struct DepEdge
  *    (the freeing read must stay the temporally last one);
  *  - memory ordering on a data-memory row (store->load gap 2,
  *    load->store and store->store gap 1).
+ *
+ * Fragment mode (numExternals > 0 allowed): reads carrying
+ * IrFragment::externalFlag reference values written by an earlier
+ * fragment. They get a dependence slot past the local instances (for
+ * valid_rst ordering among this fragment's reads of the value) but no
+ * producer edge — the merge pads the boundary until the producer's
+ * write has landed. The register-leak check is also skipped: a local
+ * value read or stored only by later fragments legitimately has no
+ * valid_rst read here.
  */
 void
-buildDeps(const IrProgram &ir, const ArchConfig &cfg,
-          std::vector<std::vector<DepEdge>> &succs,
+buildDeps(const IrProgram &ir, const ArchConfig &cfg, bool fragment,
+          size_t numExternals, std::vector<std::vector<DepEdge>> &succs,
           std::vector<uint32_t> &ndeps)
 {
     const size_t n = ir.instrs.size();
+    const size_t nlocal = ir.instances.size();
     succs.assign(n, {});
     ndeps.assign(n, 0);
 
@@ -39,10 +50,16 @@ buildDeps(const IrProgram &ir, const ArchConfig &cfg,
         ++ndeps[to];
     };
 
-    std::vector<uint32_t> writer(ir.instances.size(),
-                                 static_cast<uint32_t>(-1));
-    std::vector<std::vector<uint32_t>> readers(ir.instances.size());
-    std::vector<uint32_t> rst_reader(ir.instances.size(),
+    auto slot = [&](InstanceId id) -> size_t {
+        if (IrFragment::isExternal(id))
+            return nlocal + (id & ~IrFragment::externalFlag);
+        return id;
+    };
+
+    const size_t universe = nlocal + numExternals;
+    std::vector<uint32_t> writer(universe, static_cast<uint32_t>(-1));
+    std::vector<std::vector<uint32_t>> readers(universe);
+    std::vector<uint32_t> rst_reader(universe,
                                      static_cast<uint32_t>(-1));
 
     std::map<uint32_t, uint32_t> last_row_writer; // row -> store idx
@@ -51,19 +68,22 @@ buildDeps(const IrProgram &ir, const ArchConfig &cfg,
     for (uint32_t i = 0; i < n; ++i) {
         const IrInstr &in = ir.instrs[i];
         for (const IrRead &r : in.reads) {
-            dpu_assert(writer[r.inst] != static_cast<uint32_t>(-1),
-                       "read before write in IR");
-            add_edge(writer[r.inst],  i,
-                     writeLatency(ir.instrs[writer[r.inst]].kind, cfg));
+            const size_t s = slot(r.inst);
+            if (s < nlocal) {
+                dpu_assert(writer[s] != static_cast<uint32_t>(-1),
+                           "read before write in IR");
+                add_edge(writer[s], i,
+                         writeLatency(ir.instrs[writer[s]].kind, cfg));
+            }
             if (r.lastRead) {
-                dpu_assert(rst_reader[r.inst] ==
+                dpu_assert(rst_reader[s] ==
                            static_cast<uint32_t>(-1),
                            "two valid_rst reads of one instance");
-                rst_reader[r.inst] = i;
-                for (uint32_t other : readers[r.inst])
+                rst_reader[s] = i;
+                for (uint32_t other : readers[s])
                     add_edge(other, i, 1);
             } else {
-                readers[r.inst].push_back(i);
+                readers[s].push_back(i);
             }
         }
         for (const IrWrite &w : in.writes) {
@@ -89,21 +109,28 @@ buildDeps(const IrProgram &ir, const ArchConfig &cfg,
     }
 
     // Every instance must eventually be freed, or the register file
-    // leaks; codegen guarantees this.
-    for (size_t k = 0; k < ir.instances.size(); ++k)
-        dpu_assert(rst_reader[k] != static_cast<uint32_t>(-1),
-                   "instance never freed");
+    // leaks; codegen guarantees this for whole programs. Fragments
+    // may export values that a later fragment (or the final store)
+    // frees.
+    if (!fragment)
+        for (size_t k = 0; k < nlocal; ++k)
+            dpu_assert(rst_reader[k] != static_cast<uint32_t>(-1),
+                       "instance never freed");
 }
 
-} // namespace
-
+/**
+ * The list scheduler shared by the whole-program and per-fragment
+ * entry points. `liveIn` seeds the register-pressure estimate (a
+ * fragment starts with its external values already live).
+ */
 ScheduleStats
-reorderForPipeline(IrProgram &ir, const ArchConfig &cfg, uint32_t window)
+reorderList(IrProgram &ir, const ArchConfig &cfg, uint32_t window,
+            bool fragment, size_t numExternals, int64_t liveIn)
 {
     dpu_assert(window >= 1, "window must be positive");
     std::vector<std::vector<DepEdge>> succs;
     std::vector<uint32_t> ndeps;
-    buildDeps(ir, cfg, succs, ndeps);
+    buildDeps(ir, cfg, fragment, numExternals, succs, ndeps);
 
     const uint32_t n = static_cast<uint32_t>(ir.instrs.size());
     std::vector<uint32_t> remaining = ndeps;
@@ -158,7 +185,7 @@ reorderForPipeline(IrProgram &ir, const ArchConfig &cfg, uint32_t window)
     const uint64_t capacity =
         uint64_t(cfg.banks) * cfg.regsPerBank;
     const uint64_t high_water = capacity / 2;
-    int64_t live = 0;
+    int64_t live = liveIn;
 
     while (done < n) {
         release(now);
@@ -212,6 +239,23 @@ reorderForPipeline(IrProgram &ir, const ArchConfig &cfg, uint32_t window)
     }
     ir.instrs = std::move(out);
     return stats;
+}
+
+} // namespace
+
+ScheduleStats
+reorderForPipeline(IrProgram &ir, const ArchConfig &cfg, uint32_t window)
+{
+    return reorderList(ir, cfg, window, /*fragment=*/false,
+                       /*numExternals=*/0, /*liveIn=*/0);
+}
+
+ScheduleStats
+reorderFragment(IrFragment &frag, const ArchConfig &cfg, uint32_t window)
+{
+    return reorderList(frag.ir, cfg, window, /*fragment=*/true,
+                       frag.externals.size(),
+                       static_cast<int64_t>(frag.externals.size()));
 }
 
 void

@@ -18,6 +18,8 @@
 
 namespace dpu {
 
+struct IrFragment;
+
 /** Scheduling statistics. */
 struct ScheduleStats
 {
@@ -32,6 +34,19 @@ struct ScheduleStats
  */
 ScheduleStats reorderForPipeline(IrProgram &ir, const ArchConfig &cfg,
                                  uint32_t window = 300);
+
+/**
+ * Reorder one partition's IR fragment in place, before merging.
+ *
+ * External references (values produced by earlier partitions) carry
+ * no producer edge — they are treated as ready at cycle 0, and the
+ * merge pads the fragment boundary until every cross-fragment write
+ * has landed — but their valid_rst ordering and the fragment's local
+ * hazards are scheduled exactly like the whole-program pass, so the
+ * merged stream needs no further reordering.
+ */
+ScheduleStats reorderFragment(IrFragment &frag, const ArchConfig &cfg,
+                              uint32_t window = 300);
 
 /**
  * Verify (for tests / the simulator cross-check) that every read in

@@ -14,6 +14,7 @@
 #define DPU_SUPPORT_PARALLEL_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -62,6 +63,101 @@ parallelFor(size_t n, uint32_t threads, Fn &&fn)
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w)
         pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+/**
+ * Ordered producer/consumer pipeline over an index space: up to
+ * `threads` workers run produce(i) out of order (atomic-counter work
+ * stealing, like parallelFor), while the calling thread runs
+ * consume(i) strictly in ascending index order as soon as produce(i)
+ * has completed. produce(i) must only touch state private to index i;
+ * consume(i) may mutate shared state freely — it is never concurrent
+ * with another consume and is totally ordered, so the consumed result
+ * is identical for any thread count. With threads <= 1 the caller
+ * simply interleaves produce(i); consume(i) — the canonical
+ * sequential pipeline the parallel path must match byte for byte.
+ *
+ * Exceptions: the first error from either side stops the pool and is
+ * rethrown on the caller after all workers joined; no further
+ * consume() calls are made after a failure.
+ */
+template <typename Produce, typename Consume>
+void
+pipelineOrdered(size_t n, uint32_t threads, Produce &&produce,
+                Consume &&consume)
+{
+    size_t workers = threads;
+    if (workers > n)
+        workers = n;
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i) {
+            produce(i);
+            consume(i);
+        }
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex; // guards `done` + first_error, pairs with cv
+    std::condition_variable cv;
+    std::vector<uint8_t> done(n, 0);
+
+    auto record_error = [&]() {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error)
+            first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        cv.notify_all();
+    };
+
+    auto body = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1);
+            if (i >= n || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                produce(i);
+            } catch (...) {
+                record_error();
+                return;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                done[i] = 1;
+            }
+            cv.notify_all();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(body);
+
+    for (size_t i = 0; i < n; ++i) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&]() {
+                return done[i] != 0 ||
+                       failed.load(std::memory_order_relaxed);
+            });
+            if (failed.load(std::memory_order_relaxed))
+                break;
+        }
+        try {
+            consume(i);
+        } catch (...) {
+            record_error();
+            break;
+        }
+    }
+
     for (std::thread &t : pool)
         t.join();
     if (first_error)

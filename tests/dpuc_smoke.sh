@@ -53,6 +53,9 @@ check 0 "--out + --dot" \
     "$DPUC" "$TMP/tiny.dag" --out="$TMP/tiny.bin" --dot="$TMP/tiny.dot"
 check 0 "--partition + --threads" \
     "$DPUC" "$TMP/tiny.dag" --partition=1 --threads=4 --simulate
+check 0 "pipelined multi-partition compile" \
+    "$DPUC" "$TMP/tiny.dag" --partition=1 --threads=3 --verify \
+    --simulate
 [ -s "$TMP/tiny.bin" ] || {
     echo "FAIL: --out wrote no binary image"
     fails=$((fails + 1))
@@ -88,6 +91,14 @@ check 2 "--threads non-numeric" "$DPUC" "$TMP/tiny.dag" --threads=abc
 check 2 "--threads trailing junk" "$DPUC" "$TMP/tiny.dag" --threads=4x
 check 2 "--depth non-numeric" "$DPUC" "$TMP/tiny.dag" --depth=deep
 check 2 "--seed negative" "$DPUC" "$TMP/tiny.dag" --seed=-1
+check 2 "--window=0" "$DPUC" "$TMP/tiny.dag" --window=0
+check 2 "--window non-numeric" "$DPUC" "$TMP/tiny.dag" --window=wide
+check 2 "--window trailing junk" "$DPUC" "$TMP/tiny.dag" --window=8x
+
+# Impossible configurations are fatal user errors (exit 1), not
+# crashes: bank conflict masks are 64-bit, so banks > 64 is rejected
+# by the config check before any compile state is built.
+check 1 "--banks=128 rejected" "$DPUC" "$TMP/tiny.dag" --banks=128
 
 # dse_sweep: strict --axes/--shards/--threads validation (exit 2 on
 # junk values, before any compile starts), --resume preconditions

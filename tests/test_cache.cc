@@ -118,6 +118,46 @@ TEST(ProgramCache, ThreadsAndValidateDoNotChangeTheKey)
     expectSamePrograms(seq, par);
 }
 
+TEST(ProgramCache, FragmentReuseAcrossRegisterCounts)
+{
+    // regsPerBank only matters from step 3 on, so two compiles
+    // differing only in R miss the program cache but share their
+    // (single) fragment — and the reuse is output-preserving.
+    Dag d = generateRandomDag(16, 600, 84);
+    ProgramCache cache;
+    cache.compile(d, cfgOf(2, 8, 32));
+    auto s1 = cache.stats();
+    EXPECT_EQ(s1.fragMisses, 1u);
+    EXPECT_EQ(s1.fragHits, 0u);
+    auto warm = cache.compile(d, cfgOf(2, 8, 64));
+    EXPECT_EQ(warm.stats.cacheHits, 0u); // program-level miss...
+    auto s2 = cache.stats();
+    EXPECT_EQ(s2.fragMisses, 1u); // ...but the fragment was reused
+    EXPECT_EQ(s2.fragHits, 1u);
+    CompiledProgram cold = compile(d, cfgOf(2, 8, 64));
+    EXPECT_EQ(encodeProgram(cold.cfg, cold.instructions),
+              encodeProgram(warm.cfg, warm.instructions));
+}
+
+TEST(ProgramCache, FragmentReusePartitionedCompile)
+{
+    Dag d = generateRandomDag(32, 2000, 85);
+    ProgramCache cache;
+    CompileOptions opt;
+    opt.partitionNodes = 400;
+    opt.threads = 4;
+    cache.compile(d, cfgOf(3, 16, 32), opt);
+    uint64_t parts = cache.stats().fragMisses;
+    EXPECT_GE(parts, 4u); // 2000 ops / 400 per partition
+    auto warm = cache.compile(d, cfgOf(3, 16, 64), opt);
+    auto s = cache.stats();
+    EXPECT_EQ(s.fragHits, parts); // every partition reused
+    EXPECT_EQ(s.fragMisses, parts);
+    CompiledProgram cold = compile(d, cfgOf(3, 16, 64), opt);
+    EXPECT_EQ(encodeProgram(cold.cfg, cold.instructions),
+              encodeProgram(warm.cfg, warm.instructions));
+}
+
 TEST(ProgramCache, InsertSeedsLaterHits)
 {
     // Benches that must time a real compile still feed the cache.
@@ -217,6 +257,7 @@ TEST(ProgramCache, SerializationRoundTrip)
     }
     EXPECT_EQ(back.stats.spillStores, prog.stats.spillStores);
     EXPECT_EQ(back.stats.programBits, prog.stats.programBits);
+    EXPECT_DOUBLE_EQ(back.stats.verifySeconds, prog.stats.verifySeconds);
 
     // Corrupt images are rejected, not crashed on.
     CompiledProgram junk;

@@ -169,5 +169,28 @@ TEST(Mapper, CountReadConflictsMatchesField)
     EXPECT_EQ(ba.readConflicts, countReadConflicts(dec, ba));
 }
 
+TEST(Mapper, CountReadConflictsBeyond64Banks)
+{
+    // The helper is public and must size its scratch from the
+    // assignment, not a hardcoded 64 — bank ids past 63 used to write
+    // out of bounds (caught by ASAN).
+    BlockDecomposition dec;
+    Block b;
+    b.inputs = {0, 1, 2};
+    dec.blocks.push_back(b);
+    BankAssignment ba;
+    ba.bankOf = {127, 127, 5};
+    EXPECT_EQ(countReadConflicts(dec, ba), 1u);
+}
+
+TEST(Mapper, ConfigRejectsMoreThan64Banks)
+{
+    // Every conflict bookkeeping path keys banks into 64-bit masks,
+    // so configurations beyond 64 banks must die at check() instead
+    // of corrupting a compile.
+    ArchConfig cfg = cfgOf(2, 128);
+    EXPECT_THROW(cfg.check(), FatalError);
+}
+
 } // namespace
 } // namespace dpu

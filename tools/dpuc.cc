@@ -108,8 +108,16 @@ parseArgs(int argc, char **argv, Args &args)
             args.optimize = true;
         else if (std::strcmp(a, "--simulate") == 0)
             args.simulate = true;
-        else if (std::strncmp(a, "--window=", 9) == 0)
+        else if (std::strncmp(a, "--window=", 9) == 0) {
             u32("--window", a + 9, args.opts.reorderWindow);
+            if (!bad_value && args.opts.reorderWindow < 1) {
+                std::fprintf(stderr,
+                             "dpuc: invalid value '%s' for --window "
+                             "(must be >= 1)\n",
+                             a + 9);
+                bad_value = 2;
+            }
+        }
         else if (std::strncmp(a, "--partition=", 12) == 0)
             u32("--partition", a + 12, args.opts.partitionNodes);
         else if (std::strncmp(a, "--seed=", 7) == 0)

@@ -382,6 +382,10 @@ main(int argc, char **argv)
                                                         cs.diskHits),
                         static_cast<unsigned long long>(cs.lookups()),
                         cs.hitRate());
+            std::printf("dse_sweep: fragment cache %llu hits / %llu "
+                        "misses across partition sub-DAGs\n",
+                        static_cast<unsigned long long>(cs.fragHits),
+                        static_cast<unsigned long long>(cs.fragMisses));
         }
         return 0;
     } catch (const FatalError &e) {

@@ -332,10 +332,13 @@ main(int argc, char **argv)
         bool require_fleet_series =
             eff_ranks > 1 &&
             std::strcmp(binary, "serve_latency") == 0;
+        bool require_mapper_series =
+            std::strcmp(binary, "ablation_mapper") == 0;
 
         auto validate = [&](const std::string &rep) {
             std::string status = validate_harness_json(rep);
-            if (status != "ok" || !require_fleet_series)
+            if (status != "ok" ||
+                (!require_fleet_series && !require_mapper_series))
                 return status;
             std::ifstream in(rep);
             std::ostringstream buf;
@@ -343,14 +346,28 @@ main(int argc, char **argv)
             std::string text = buf.str();
             // A multi-rank serving report without the per-rank fleet
             // series is a broken fleet run, not a pass.
-            if (text.find("\"fleet_rank_utilization\"") ==
-                    std::string::npos ||
-                text.find("\"fleet_rank_transfer_overhead\"") ==
-                    std::string::npos)
+            if (require_fleet_series &&
+                (text.find("\"fleet_rank_utilization\"") ==
+                     std::string::npos ||
+                 text.find("\"fleet_rank_transfer_overhead\"") ==
+                     std::string::npos))
                 return std::string(
                     "BAD JSON (fleet run missing "
                     "fleet_rank_utilization / "
                     "fleet_rank_transfer_overhead series)");
+            // The mapper ablation must carry the boundary-mapping
+            // and compile-pipeline series the trend tooling tracks.
+            if (require_mapper_series &&
+                (text.find("\"mapper_boundary_conflicts_oblivious\"") ==
+                     std::string::npos ||
+                 text.find("\"mapper_boundary_conflicts_aware\"") ==
+                     std::string::npos ||
+                 text.find("\"compile_pipeline_seconds\"") ==
+                     std::string::npos))
+                return std::string(
+                    "BAD JSON (mapper ablation missing "
+                    "mapper_boundary_conflicts_* / "
+                    "compile_pipeline_seconds series)");
             return status;
         };
         std::string status = run_one(cmd, report, validate);
