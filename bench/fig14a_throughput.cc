@@ -14,7 +14,11 @@
 #include "baselines/baselines.hh"
 #include "dag/binarize.hh"
 #include "harness.hh"
+#include "model/tech28.hh"
+#include "sim/batch.hh"
+#include "support/rng.hh"
 #include "support/stats.hh"
+#include "workloads/sptrsv.hh"
 
 using namespace dpu;
 
@@ -130,5 +134,76 @@ main(int argc, char **argv)
         batch_inputs.push_back(bench::randomInputs(batch_row->raw,
                                                    100 + k));
     bench::batchSimReport(ctx, batch_row->run.program, batch_inputs, 4);
+
+    // Real matrices (--matrix / --matrix-dir): single-RHS DPU-v2
+    // throughput, batched multi-RHS throughput (one factorization, 8
+    // right-hand sides coalesced onto the 4-core batch machine), and
+    // the *measured* CPU level-scheduled solve over the same inputs.
+    const auto &matrix_paths = ctx.options().matrixPaths;
+    if (!matrix_paths.empty()) {
+        constexpr size_t kRhsBatch = 8;
+        constexpr uint32_t kBatchCores = 4;
+        std::printf("\nReal matrices (batch of %zu right-hand "
+                    "sides):\n",
+                    kRhsBatch);
+        TablePrinter mt({"matrix", "DPU-v2 1-RHS", "DPU-v2 8-RHS",
+                         "CPU measured", "v2-batch/CPU"});
+        std::vector<double> single_s, multi_s, cpu_s;
+        for (const std::string &path : matrix_paths) {
+            WorkloadSpec spec = matrixWorkload(path);
+            SparseMatrixCsr lower = loadWorkloadMatrix(spec);
+            SpTrsvDag lowered = buildSpTrsvDag(lower);
+            CompiledProgram prog =
+                ctx.cache()
+                    ? ctx.cache()->compile(lowered.dag, minEdpConfig(),
+                                           {})
+                    : compile(lowered.dag, minEdpConfig(), {});
+
+            std::vector<std::vector<double>> rhs_batch;
+            Rng rng(spec.seed + 7);
+            for (size_t b = 0; b < kRhsBatch; ++b) {
+                std::vector<double> rhs(lower.dim());
+                for (double &x : rhs)
+                    x = 0.5 + rng.uniform();
+                rhs_batch.push_back(std::move(rhs));
+            }
+            auto inputs =
+                sptrsvBatchInputs(lowered, lower, rhs_batch);
+
+            auto single =
+                bench::runWorkload(lowered.dag, minEdpConfig(), {}, 1,
+                                   ctx.cache());
+            double gops_single = single.program.stats.numOperations /
+                                 single.energy.seconds() * 1e-9;
+
+            BatchMachine bm(prog, kBatchCores,
+                            prog.stats.numOperations, ctx.threads());
+            BatchResult br = bm.run(inputs);
+            double gops_multi =
+                br.throughputGops(tech28::frequencyHz);
+
+            auto cpu = runCpuSparseSolve(lower, rhs_batch,
+                                         {ctx.threads(), 3});
+
+            mt.row()
+                .cell(spec.name)
+                .num(gops_single, 2)
+                .num(gops_multi, 2)
+                .num(cpu.throughputGops, 2)
+                .num(gops_multi / cpu.throughputGops, 2);
+            single_s.push_back(gops_single);
+            multi_s.push_back(gops_multi);
+            cpu_s.push_back(cpu.throughputGops);
+        }
+        mt.print();
+        ctx.table(mt, "real_matrices");
+        ctx.series("real_matrix_gops", single_s);
+        ctx.series("real_matrix_multi_rhs_gops", multi_s);
+        ctx.series("real_cpu_sparse_gops", cpu_s);
+        std::printf("CPU row is measured level-scheduled forward "
+                    "substitution on this host (%u threads), not a "
+                    "model.\n",
+                    ctx.threads());
+    }
     return ctx.finish();
 }

@@ -1,11 +1,13 @@
 #include "harness.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -31,6 +33,16 @@ randomInputs(const Dag &dag, uint64_t seed)
     for (double &x : in)
         x = 0.5 + rng.uniform();
     return in;
+}
+
+std::vector<WorkloadSpec>
+matrixWorkloads(const Options &opts)
+{
+    std::vector<WorkloadSpec> specs;
+    specs.reserve(opts.matrixPaths.size());
+    for (const std::string &path : opts.matrixPaths)
+        specs.push_back(matrixWorkload(path));
+    return specs;
 }
 
 RunResult
@@ -165,6 +177,29 @@ parseOptions(int argc, char **argv, double default_scale)
                              a + 12, kPlacementChoicesHelp);
                 std::exit(2);
             }
+        } else if (std::strncmp(a, "--matrix=", 9) == 0) {
+            const char *path = a + 9;
+            if (path[0] == '\0' || !std::ifstream(path).good()) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --matrix "
+                             "(expected a readable .mtx file)\n",
+                             path);
+                std::exit(2);
+            }
+            o.matrixPaths.emplace_back(path);
+        } else if (std::strncmp(a, "--matrix-dir=", 13) == 0) {
+            std::vector<std::string> found =
+                discoverMatrixFiles(a + 13);
+            if (found.empty()) {
+                std::fprintf(stderr,
+                             "invalid value '%s' for --matrix-dir "
+                             "(expected a directory containing .mtx "
+                             "files)\n",
+                             a + 13);
+                std::exit(2);
+            }
+            o.matrixPaths.insert(o.matrixPaths.end(), found.begin(),
+                                 found.end());
         } else {
             std::fprintf(stderr,
                          "unknown option '%s'\n"
@@ -173,7 +208,9 @@ parseOptions(int argc, char **argv, double default_scale)
                          "[--cache-dir=<dir>] [--no-cache] "
                          "[--fidelity=<tier>] [--ranks=N] "
                          "[--xfer-gbps=<v|inf>] "
-                         "[--placement=<policy>]\n",
+                         "[--placement=<policy>] "
+                         "[--matrix=<file.mtx>] "
+                         "[--matrix-dir=<dir>]\n",
                          a);
             std::exit(1);
         }
@@ -184,6 +221,24 @@ parseOptions(int argc, char **argv, double default_scale)
             o.scale = 1.0;
         else if (o.quick)
             o.scale = default_scale / 10.0;
+    }
+    // --matrix and --matrix-dir may name the same file (e.g. a file
+    // inside the discovered directory); run each matrix once, keeping
+    // first-occurrence order.
+    {
+        std::vector<std::string> unique;
+        std::vector<std::string> canon;
+        for (const std::string &p : o.matrixPaths) {
+            std::error_code ec;
+            auto c = std::filesystem::weakly_canonical(p, ec);
+            std::string key = ec ? p : c.string();
+            if (std::find(canon.begin(), canon.end(), key) !=
+                canon.end())
+                continue;
+            canon.push_back(std::move(key));
+            unique.push_back(p);
+        }
+        o.matrixPaths = std::move(unique);
     }
     return o;
 }

@@ -116,6 +116,14 @@ struct Options
         std::numeric_limits<double>::infinity();
     Placement placement =      ///< --placement=<replicate|affinity>.
         Placement::Replicate;
+
+    /** Real-matrix flags: each --matrix=<file.mtx> appends one path
+     *  (must be readable at parse time, exit 2 otherwise) and
+     *  --matrix-dir=<dir> appends every `*.mtx` directly under the
+     *  directory, sorted (exit 2 when none are found). Honored by
+     *  table1_workloads / fig14a_throughput / table3_comparison;
+     *  others accept and ignore them. */
+    std::vector<std::string> matrixPaths;
 };
 
 /**
@@ -130,6 +138,11 @@ struct Options
  * silently clamped.
  */
 Options parseOptions(int argc, char **argv, double default_scale);
+
+/** One file-backed WorkloadSpec per --matrix/--matrix-dir path, in
+ *  flag order (fatals on malformed matrix content — readability was
+ *  already checked at parse time). */
+std::vector<WorkloadSpec> matrixWorkloads(const Options &opts);
 
 // ---------------------------------------------------------------- //
 // Per-bench context: banner in, JSON report out.                   //

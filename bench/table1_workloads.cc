@@ -9,6 +9,7 @@
 
 #include "dag/algorithms.hh"
 #include "harness.hh"
+#include "workloads/sptrsv.hh"
 
 using namespace dpu;
 
@@ -92,6 +93,62 @@ main(int argc, char **argv)
     compile_seconds += section(ctx, "(c) Large probabilistic circuits",
                                "large_pc", largePcSuite(), large_scale,
                                true, /*partition_compile=*/true);
+
+    // (d) Real matrices: file-backed SpTRSV workloads (--matrix /
+    // --matrix-dir). No "paper" columns here — every number is
+    // measured on the actual matrix.
+    if (!ctx.options().matrixPaths.empty()) {
+        auto specs = bench::matrixWorkloads(ctx.options());
+        struct MatrixRow
+        {
+            uint32_t dim = 0;
+            size_t nnz = 0;
+            size_t depth = 0;
+            DagStats stats;
+            double compileSecs = 0;
+        };
+        std::vector<MatrixRow> mrows(specs.size());
+        bench::parallelFor(specs.size(), ctx.threads(), [&](size_t i) {
+            SparseMatrixCsr lower = loadWorkloadMatrix(specs[i]);
+            mrows[i].dim = lower.dim();
+            mrows[i].nnz = lower.nnz();
+            mrows[i].depth = lower.dependencyDepth();
+            Dag d = buildSpTrsvDag(lower).dag;
+            mrows[i].stats = computeStats(d);
+            auto prog = compile(d, minEdpConfig(), {});
+            mrows[i].compileSecs = prog.stats.compileSeconds;
+        });
+        std::printf("(d) Real matrices\n");
+        TablePrinter mt({"matrix", "dim", "nnz", "dep depth", "nodes",
+                         "longest path", "n/l", "compile (s)"});
+        std::vector<double> nodes_s, path_s, depth_s, nnz_s;
+        for (size_t i = 0; i < specs.size(); ++i) {
+            const MatrixRow &r = mrows[i];
+            mt.row()
+                .cell(specs[i].name)
+                .num(static_cast<long long>(r.dim))
+                .num(static_cast<long long>(r.nnz))
+                .num(static_cast<long long>(r.depth))
+                .num(static_cast<long long>(r.stats.numOperations))
+                .num(static_cast<long long>(r.stats.longestPath))
+                .num(r.stats.parallelism, 0)
+                .num(r.compileSecs, 2);
+            nodes_s.push_back(
+                static_cast<double>(r.stats.numOperations));
+            path_s.push_back(static_cast<double>(r.stats.longestPath));
+            depth_s.push_back(static_cast<double>(r.depth));
+            nnz_s.push_back(static_cast<double>(r.nnz));
+            compile_seconds += r.compileSecs;
+        }
+        mt.print();
+        ctx.table(mt, "real_matrices");
+        ctx.series("real_matrix_nodes", nodes_s);
+        ctx.series("real_matrix_longest_path", path_s);
+        ctx.series("real_matrix_depth", depth_s);
+        ctx.series("real_matrix_nnz", nnz_s);
+        std::printf("\n");
+    }
+
     ctx.metric("compile_seconds_total", compile_seconds);
     ctx.metric("compile_threads", ctx.threads());
     std::printf("Compile: %.2fs total at %u threads (large PCs "

@@ -19,6 +19,7 @@
 #define DPU_BASELINES_BASELINES_HH
 
 #include "dag/dag.hh"
+#include "workloads/sparse_matrix.hh"
 
 namespace dpu {
 
@@ -111,6 +112,36 @@ struct SpuModelParams
 
 BaselineResult runSpuModel(const Dag &dag,
                            const SpuModelParams &params = {});
+
+/**
+ * The one *measured* baseline: level-scheduled forward substitution
+ * actually executed on the host CPU over the same CSR inputs the DPU
+ * DAG was lowered from. Rows are bucketed by dependency level; rows
+ * within a level are independent and work-split across `threads`
+ * (with a barrier per level, the cost structure GRAPHOPT [44] pays);
+ * every right-hand side of the batch is solved per row visit so the
+ * factorization traversal is shared across the batch.
+ */
+struct CpuSparseParams
+{
+    uint32_t threads = 1; ///< Host threads across rows of one level.
+    uint32_t repeats = 3; ///< Timed repetitions; the best is reported.
+};
+
+struct CpuSparseResult
+{
+    double seconds = 0;        ///< Best wall time for the whole batch.
+    double throughputGops = 0; ///< flops / seconds.
+    uint64_t flops = 0;        ///< 2*(nnz-n)+n per solve, times batch.
+    size_t levels = 0;         ///< == lower.dependencyDepth().
+    /** One solution vector per right-hand side, submission order. */
+    std::vector<std::vector<double>> solutions;
+};
+
+CpuSparseResult
+runCpuSparseSolve(const SparseMatrixCsr &lower,
+                  const std::vector<std::vector<double>> &rhsBatch,
+                  const CpuSparseParams &params = {});
 
 } // namespace dpu
 

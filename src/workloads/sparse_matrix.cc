@@ -1,8 +1,11 @@
 #include "workloads/sparse_matrix.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <fstream>
 #include <istream>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -166,46 +169,163 @@ writeMatrixMarket(const SparseMatrixCsr &m, std::ostream &out)
                 << m.valueAt(k) << "\n";
 }
 
+namespace {
+
+/** Banner symmetry classes this loader accepts. */
+enum class MmSymmetry { General, Symmetric, SkewSymmetric };
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+bool
+isBlank(const std::string &line)
+{
+    return std::all_of(line.begin(), line.end(), [](unsigned char c) {
+        return std::isspace(c) != 0;
+    });
+}
+
+} // namespace
+
 SparseMatrixCsr
 readMatrixMarket(std::istream &in)
 {
     std::string line;
     if (!std::getline(in, line) || line.rfind("%%MatrixMarket", 0) != 0)
         dpu_fatal("missing MatrixMarket header");
-    if (line.find("coordinate") == std::string::npos ||
-        line.find("real") == std::string::npos) {
-        dpu_fatal("only 'coordinate real' MatrixMarket supported");
-    }
-    bool symmetric = line.find("symmetric") != std::string::npos;
 
-    // Skip comments.
+    // The banner has exactly five whitespace-separated fields:
+    //   %%MatrixMarket object format field symmetry
+    // Tokenize them rather than substring-matching the whole line —
+    // "symmetric" is a substring of "skew-symmetric" and "real" of
+    // "realignment matrix" comment text, so find() misclassifies.
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    if (!(banner >> tag >> object >> format >> field >> symmetry))
+        dpu_fatal("malformed MatrixMarket banner (want five fields: "
+                  "%%MatrixMarket matrix coordinate <field> <symmetry>)");
+    object = lowered(object);
+    format = lowered(format);
+    field = lowered(field);
+    symmetry = lowered(symmetry);
+    if (object != "matrix")
+        dpu_fatal("unsupported MatrixMarket object '" + object +
+                  "' (only 'matrix')");
+    if (format != "coordinate")
+        dpu_fatal("unsupported MatrixMarket format '" + format +
+                  "' (only sparse 'coordinate')");
+    if (field == "complex")
+        dpu_fatal("complex MatrixMarket field is not supported "
+                  "(real-valued solves only)");
+    if (field == "pattern")
+        dpu_fatal("pattern MatrixMarket field has no values; "
+                  "numeric 'real' or 'integer' required");
+    if (field != "real" && field != "integer")
+        dpu_fatal("unsupported MatrixMarket field '" + field +
+                  "' (only 'real' or 'integer')");
+    MmSymmetry sym = MmSymmetry::General;
+    if (symmetry == "symmetric")
+        sym = MmSymmetry::Symmetric;
+    else if (symmetry == "skew-symmetric")
+        sym = MmSymmetry::SkewSymmetric;
+    else if (symmetry == "hermitian")
+        dpu_fatal("hermitian MatrixMarket symmetry is complex-valued "
+                  "and not supported");
+    else if (symmetry != "general")
+        dpu_fatal("unsupported MatrixMarket symmetry '" + symmetry + "'");
+
+    // Skip comments and blank lines. Real SuiteSparse files separate
+    // the comment block from the size line with blank lines.
     do {
         if (!std::getline(in, line))
-            dpu_fatal("truncated MatrixMarket stream");
-    } while (!line.empty() && line[0] == '%');
+            dpu_fatal("truncated MatrixMarket stream (no size line)");
+    } while (isBlank(line) || line[0] == '%');
 
     std::istringstream hs(line);
     uint64_t rows = 0, cols = 0, entries = 0;
-    if (!(hs >> rows >> cols >> entries) || rows != cols)
-        dpu_fatal("bad MatrixMarket size line (square matrices only)");
+    if (!(hs >> rows >> cols >> entries))
+        dpu_fatal("bad MatrixMarket size line");
+    if (rows != cols)
+        dpu_fatal("non-square MatrixMarket matrix (" +
+                  std::to_string(rows) + "x" + std::to_string(cols) +
+                  "); square matrices only");
+    if (rows > std::numeric_limits<uint32_t>::max())
+        dpu_fatal("MatrixMarket dimension " + std::to_string(rows) +
+                  " exceeds the uint32 row-index range");
+    // rows, cols <= 2^32 - 1, so the product cannot overflow uint64.
+    if (entries > rows * cols)
+        dpu_fatal("MatrixMarket size line claims " +
+                  std::to_string(entries) + " entries for a " +
+                  std::to_string(rows) + "x" + std::to_string(cols) +
+                  " matrix");
 
     std::vector<Triplet> trips;
-    trips.reserve(entries);
+    // The header is still untrusted until the entries actually parse;
+    // cap the up-front allocation and let growth handle honest files.
+    constexpr uint64_t kReserveCap = 1u << 20;
+    trips.reserve(static_cast<size_t>(
+        std::min<uint64_t>(sym == MmSymmetry::General ? entries : 2 * entries,
+                           kReserveCap)));
     for (uint64_t i = 0; i < entries; ++i) {
         uint64_t r = 0, c = 0;
         double v = 0;
         if (!(in >> r >> c >> v))
-            dpu_fatal("truncated MatrixMarket entries");
+            dpu_fatal("truncated MatrixMarket entries (entry " +
+                      std::to_string(i + 1) + " of " +
+                      std::to_string(entries) + ")");
         if (r < 1 || r > rows || c < 1 || c > cols)
             dpu_fatal("MatrixMarket index out of range");
         trips.push_back({static_cast<uint32_t>(r - 1),
                          static_cast<uint32_t>(c - 1), v});
-        if (symmetric && r != c)
+        if (sym != MmSymmetry::General && r != c) {
+            // Symmetric stores one triangle; mirror the other. A
+            // skew-symmetric matrix satisfies A(j,i) = -A(i,j).
+            double mirror = sym == MmSymmetry::SkewSymmetric ? -v : v;
             trips.push_back({static_cast<uint32_t>(c - 1),
-                             static_cast<uint32_t>(r - 1), v});
+                             static_cast<uint32_t>(r - 1), mirror});
+        } else if (sym == MmSymmetry::SkewSymmetric && r == c && v != 0.0) {
+            dpu_fatal("skew-symmetric MatrixMarket file has a nonzero "
+                      "diagonal entry at row " + std::to_string(r));
+        }
     }
     return SparseMatrixCsr::fromTriplets(static_cast<uint32_t>(rows),
                                          std::move(trips));
+}
+
+SparseMatrixCsr
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        dpu_fatal("cannot open MatrixMarket file: " + path);
+    return readMatrixMarket(in);
+}
+
+SparseMatrixCsr
+lowerTriangularFrom(const SparseMatrixCsr &m)
+{
+    std::vector<Triplet> trips;
+    trips.reserve(m.nnz() / 2 + m.dim());
+    for (uint32_t r = 0; r < m.dim(); ++r) {
+        double diag = 0.0;
+        for (size_t k = m.rowBegin(r); k < m.rowEnd(r); ++k) {
+            uint32_t c = m.colAt(k);
+            if (c < r)
+                trips.push_back({r, c, m.valueAt(k)});
+            else if (c == r)
+                diag = m.valueAt(k);
+        }
+        // Unit diagonal where the source is missing or zero keeps the
+        // system nonsingular for any input matrix.
+        trips.push_back({r, r, diag != 0.0 ? diag : 1.0});
+    }
+    return SparseMatrixCsr::fromTriplets(m.dim(), std::move(trips));
 }
 
 std::vector<double>

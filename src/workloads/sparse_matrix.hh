@@ -89,8 +89,27 @@ SparseMatrixCsr makeLowerTriangular(const LowerTriangularParams &params);
 /** Write in MatrixMarket coordinate format ("%%MatrixMarket ..."). */
 void writeMatrixMarket(const SparseMatrixCsr &m, std::ostream &out);
 
-/** Read MatrixMarket coordinate format (general real matrices). */
+/**
+ * Read MatrixMarket coordinate format. Accepts `real`/`integer` fields
+ * with `general`, `symmetric` (mirrored with +v), or `skew-symmetric`
+ * (mirrored with -v) symmetry; `complex`/`hermitian`/`pattern` banners
+ * are rejected with explicit messages. Blank lines between the comment
+ * block and the size line are allowed, dimensions must fit uint32, and
+ * the declared entry count is validated against rows*cols before any
+ * allocation trusts it.
+ */
 SparseMatrixCsr readMatrixMarket(std::istream &in);
+
+/** readMatrixMarket over a file path; fatals if the file cannot open. */
+SparseMatrixCsr readMatrixMarketFile(const std::string &path);
+
+/**
+ * Extract a nonsingular lower-triangular SpTRSV instance from any
+ * square matrix: keep entries with col <= row and substitute a unit
+ * diagonal wherever the source diagonal is missing or zero. This is
+ * how arbitrary real `.mtx` files become solvable workloads.
+ */
+SparseMatrixCsr lowerTriangularFrom(const SparseMatrixCsr &m);
 
 /**
  * Reference forward substitution: solve L x = b for lower-triangular L.

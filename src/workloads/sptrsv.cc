@@ -80,6 +80,42 @@ sptrsvInputValues(const SpTrsvDag &lowered, const SparseMatrixCsr &lower,
     return values;
 }
 
+std::vector<std::vector<double>>
+sptrsvBatchInputs(const SpTrsvDag &lowered, const SparseMatrixCsr &lower,
+                  const std::vector<std::vector<double>> &rhsBatch)
+{
+    const uint32_t n = lower.dim();
+    std::vector<double> diag(n, 0.0);
+    for (uint32_t r = 0; r < n; ++r) {
+        diag[r] = lower.at(r, r);
+        dpu_assert(diag[r] != 0.0, "zero diagonal");
+    }
+
+    // Shared template: every Coeff value, with Rhs slots left at zero.
+    // Same x / diag divisions as sptrsvInputValues, so each batch
+    // element is bit-identical to the single-RHS input vector.
+    std::vector<double> shared(lowered.inputs.size(), 0.0);
+    std::vector<std::pair<size_t, uint32_t>> rhsSlots;
+    for (size_t i = 0; i < lowered.inputs.size(); ++i) {
+        const auto &d = lowered.inputs[i];
+        if (d.kind == SpTrsvDag::InputDesc::Kind::Rhs)
+            rhsSlots.emplace_back(i, d.row);
+        else
+            shared[i] = -lower.at(d.row, d.col) / diag[d.row];
+    }
+
+    std::vector<std::vector<double>> batch;
+    batch.reserve(rhsBatch.size());
+    for (const auto &rhs : rhsBatch) {
+        dpu_assert(rhs.size() == n, "rhs size mismatch");
+        std::vector<double> values = shared;
+        for (const auto &[slot, row] : rhsSlots)
+            values[slot] = rhs[row] / diag[row];
+        batch.push_back(std::move(values));
+    }
+    return batch;
+}
+
 std::vector<double>
 sptrsvSolution(const SpTrsvDag &lowered,
                const std::vector<double> &node_values)

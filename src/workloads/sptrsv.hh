@@ -62,6 +62,18 @@ std::vector<double> sptrsvInputValues(const SpTrsvDag &lowered,
                                       const SparseMatrixCsr &lower,
                                       const std::vector<double> &rhs);
 
+/**
+ * Produce DAG input vectors for a batch of right-hand sides sharing one
+ * factorization: the Coeff inputs (and the per-row diagonal divides)
+ * are computed once and shared across the batch; each solve only fills
+ * its own Rhs slots. Element i equals sptrsvInputValues(lowered, lower,
+ * rhsBatch[i]) bit for bit, so per-RHS results through BatchMachine /
+ * AsyncBatchServer stay byte-identical to independent single solves.
+ */
+std::vector<std::vector<double>>
+sptrsvBatchInputs(const SpTrsvDag &lowered, const SparseMatrixCsr &lower,
+                  const std::vector<std::vector<double>> &rhsBatch);
+
 /** Extract x (one value per row) from a full node-value vector. */
 std::vector<double> sptrsvSolution(const SpTrsvDag &lowered,
                                    const std::vector<double> &node_values);

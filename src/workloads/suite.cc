@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
 #include "dag/algorithms.hh"
 #include "support/logging.hh"
@@ -137,10 +138,57 @@ buildSptrsvTwin(const WorkloadSpec &spec, double scale)
 
 } // namespace
 
+SparseMatrixCsr
+loadWorkloadMatrix(const WorkloadSpec &spec)
+{
+    dpu_assert(!spec.matrixPath.empty(),
+               "not a file-backed workload: " + spec.name);
+    return lowerTriangularFrom(readMatrixMarketFile(spec.matrixPath));
+}
+
+WorkloadSpec
+matrixWorkload(const std::string &mtxPath)
+{
+    WorkloadSpec spec;
+    spec.name = std::filesystem::path(mtxPath).stem().string();
+    spec.cls = WorkloadClass::SpTrsv;
+    spec.seed = 0;
+    spec.matrixPath = mtxPath;
+
+    SparseMatrixCsr lower = loadWorkloadMatrix(spec);
+    spec.matrixDim = lower.dim();
+    DagStats s = computeStats(buildSpTrsvDag(lower).dag);
+    spec.paperNodes = s.numOperations;
+    spec.paperLongestPath = s.longestPath;
+    return spec;
+}
+
+std::vector<std::string>
+discoverMatrixFiles(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> found;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".mtx")
+            found.push_back(entry.path().string());
+    }
+    std::sort(found.begin(), found.end());
+    return found;
+}
+
 Dag
 buildWorkloadDag(const WorkloadSpec &spec, double scale)
 {
     dpu_assert(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    if (!spec.matrixPath.empty()) {
+        // File-backed: the real matrix is the workload; scale would
+        // change the structure being measured, so it is ignored.
+        dpu_assert(spec.cls == WorkloadClass::SpTrsv,
+                   "file-backed workloads are SpTRSV");
+        return buildSpTrsvDag(loadWorkloadMatrix(spec)).dag;
+    }
     switch (spec.cls) {
       case WorkloadClass::Pc:
       case WorkloadClass::LargePc:

@@ -18,6 +18,7 @@
 
 #include "compiler/cache.hh"
 #include "dag/dag.hh"
+#include "workloads/sparse_matrix.hh"
 
 namespace dpu {
 
@@ -36,10 +37,14 @@ struct WorkloadSpec
 {
     std::string name;
     WorkloadClass cls;
-    size_t paperNodes;       ///< Table I "Nodes (n)".
-    size_t paperLongestPath; ///< Table I "Longest path (l)".
+    size_t paperNodes;       ///< Table I "Nodes (n)"; measured for
+                             ///< file-backed workloads.
+    size_t paperLongestPath; ///< Table I "Longest path (l)"; ditto.
     uint32_t matrixDim;      ///< SpTRSV only: matrix dimension.
     uint64_t seed;
+    /** Non-empty for file-backed SpTRSV workloads: the `.mtx` path
+     *  the matrix is loaded from instead of a synthetic twin. */
+    std::string matrixPath;
 };
 
 /** Table I (a): PC workloads. */
@@ -53,6 +58,25 @@ const std::vector<WorkloadSpec> &largePcSuite();
 
 /** Concatenation of (a) and (b) — the DSE/throughput suite. */
 std::vector<WorkloadSpec> smallSuite();
+
+/**
+ * Real-matrix ingestion: make a file-backed SpTRSV workload from a
+ * Matrix Market file. The matrix is loaded, lower-triangularized
+ * (lowerTriangularFrom), and its DAG built once so `paperNodes` /
+ * `paperLongestPath` / `matrixDim` carry *measured* statistics.
+ * Fatals (exit 1 from tools) on unreadable or malformed files.
+ */
+WorkloadSpec matrixWorkload(const std::string &mtxPath);
+
+/**
+ * All regular files named `*.mtx` directly under `dir`, sorted by
+ * path for deterministic ordering. Empty when `dir` does not exist
+ * or is not a directory.
+ */
+std::vector<std::string> discoverMatrixFiles(const std::string &dir);
+
+/** Load + lower-triangularize a file-backed workload's matrix. */
+SparseMatrixCsr loadWorkloadMatrix(const WorkloadSpec &spec);
 
 /**
  * Generate the DAG for a workload.

@@ -74,6 +74,25 @@ check 0 "--prog image" \
     fails=$((fails + 1))
 }
 
+# Real-matrix ingestion: --matrix compiles the SpTRSV DAG lowered
+# from a Matrix Market file instead of reading a .dag file.
+cat > "$TMP/tiny.mtx" <<EOF
+%%MatrixMarket matrix coordinate real general
+% 3x3 lower bidiagonal chain
+
+3 3 5
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+3 3 2.0
+EOF
+check 0 "--matrix compile" "$DPUC" --matrix="$TMP/tiny.mtx"
+check 0 "--matrix --simulate" \
+    "$DPUC" --matrix="$TMP/tiny.mtx" --simulate
+check 0 "--matrix --verify --disasm" \
+    "$DPUC" --matrix="$TMP/tiny.mtx" --verify --disasm
+
 # User errors (exit 1).
 check 1 "bad flag" "$DPUC" "$TMP/tiny.dag" --no-such-flag
 check 1 "no input file" "$DPUC"
@@ -83,6 +102,17 @@ check 1 "two input files" "$DPUC" "$TMP/tiny.dag" "$TMP/tiny.dag"
 # Malformed DAG file: a user error, not an internal crash.
 printf 'not a dag\n' > "$TMP/bad.dag"
 check 1 "malformed dag" "$DPUC" "$TMP/bad.dag"
+
+# --matrix input-selection contract: exactly one of <dag> / --matrix,
+# the file must exist and parse, and an empty value is an invalid
+# option value (exit 2) like every other typed flag.
+check 1 "both dag and --matrix" \
+    "$DPUC" "$TMP/tiny.dag" --matrix="$TMP/tiny.mtx"
+check 1 "missing matrix file" \
+    "$DPUC" --matrix="$TMP/does-not-exist.mtx"
+printf 'not a matrix\n' > "$TMP/bad.mtx"
+check 1 "malformed matrix" "$DPUC" --matrix="$TMP/bad.mtx"
+check 2 "--matrix= empty value" "$DPUC" --matrix=
 
 # Invalid option values (exit 2): atoi used to turn these into 0 and
 # silently clamp or misconfigure.

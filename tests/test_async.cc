@@ -20,6 +20,8 @@
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "workloads/pc_generator.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
 
 namespace dpu {
 namespace {
@@ -142,6 +144,53 @@ TEST(AsyncServer, DeterministicAcrossArrivalOrdersAndConfigs)
             for (size_t k = 0; k < inputs.size(); ++k)
                 expectIdentical(futures[k].get(), reference[k]);
         }
+    }
+}
+
+TEST(AsyncServer, SpTrsvMultiRhsCoalescedByteIdentical)
+{
+    // The "many users, same model" serving shape: one resident SpTRSV
+    // program, many right-hand sides submitted individually and
+    // coalesced into batches. Every per-RHS result must be
+    // byte-identical to an independent single-RHS Machine solve.
+    LowerTriangularParams p;
+    p.dim = 80;
+    p.depthLevels = 10;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 61;
+    auto lower = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(lower);
+    auto prog = compile(lowered.dag, smallConfig());
+
+    std::vector<std::vector<double>> rhs_batch;
+    Rng rng(62);
+    for (int b = 0; b < 10; ++b) {
+        std::vector<double> rhs(lower.dim());
+        for (auto &x : rhs)
+            x = rng.uniform() * 2 - 1;
+        rhs_batch.push_back(std::move(rhs));
+    }
+    auto inputs = sptrsvBatchInputs(lowered, lower, rhs_batch);
+
+    std::vector<SimResult> reference;
+    for (size_t b = 0; b < rhs_batch.size(); ++b)
+        reference.push_back(Machine(prog).run(
+            sptrsvInputValues(lowered, lower, rhs_batch[b])));
+
+    for (uint32_t workers : {1u, 2u, 4u}) {
+        AsyncServerConfig cfg;
+        cfg.maxBatch = 4;
+        cfg.batchWindow = std::chrono::microseconds(200);
+        cfg.workers = workers;
+        AsyncBatchServer server(cfg);
+        auto h = server.addProgram(prog);
+
+        std::vector<std::future<SimResult>> futures;
+        for (const auto &in : inputs)
+            futures.push_back(server.submit(h, in));
+        server.drain();
+        for (size_t b = 0; b < inputs.size(); ++b)
+            expectIdentical(futures[b].get(), reference[b]);
     }
 }
 

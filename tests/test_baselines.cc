@@ -8,6 +8,7 @@
 #include "baselines/baselines.hh"
 #include "compiler/spatial.hh"
 #include "dag/binarize.hh"
+#include "support/rng.hh"
 #include "workloads/pc_generator.hh"
 #include "workloads/suite.hh"
 
@@ -141,6 +142,87 @@ TEST(Spatial, SystolicDegradesTreeHoldsUp)
     EXPECT_LT(sys16, sys8 + 0.05);
     EXPECT_GT(treePeakUtilization(d, 8), 0.85);
     EXPECT_GT(treePeakUtilization(d, 16), 0.8);
+}
+
+namespace {
+
+std::vector<std::vector<double>>
+seededRhsBatch(uint32_t dim, size_t batch, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> out;
+    for (size_t b = 0; b < batch; ++b) {
+        std::vector<double> rhs(dim);
+        for (double &x : rhs)
+            x = rng.uniform() * 2 - 1;
+        out.push_back(std::move(rhs));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(CpuSparse, MatchesReferenceSolve)
+{
+    LowerTriangularParams p;
+    p.dim = 120;
+    p.depthLevels = 15;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 21;
+    auto lower = makeLowerTriangular(p);
+    auto rhs_batch = seededRhsBatch(lower.dim(), 4, 22);
+
+    auto r = runCpuSparseSolve(lower, rhs_batch);
+    ASSERT_EQ(r.solutions.size(), rhs_batch.size());
+    EXPECT_EQ(r.levels, lower.dependencyDepth());
+    EXPECT_GT(r.seconds, 0);
+    EXPECT_GT(r.throughputGops, 0);
+    uint64_t per_solve =
+        2 * (uint64_t(lower.nnz()) - lower.dim()) + lower.dim();
+    EXPECT_EQ(r.flops, per_solve * rhs_batch.size());
+    for (size_t b = 0; b < rhs_batch.size(); ++b) {
+        auto ref = solveLowerTriangular(lower, rhs_batch[b]);
+        ASSERT_EQ(r.solutions[b].size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i)
+            EXPECT_NEAR(r.solutions[b][i], ref[i], 1e-9) << b << " " << i;
+    }
+}
+
+TEST(CpuSparse, SolutionsInvariantAcrossThreadCounts)
+{
+    // The level barrier makes the arithmetic order within a row fixed
+    // regardless of how rows are split across threads, so solutions
+    // must be bitwise identical for any thread count.
+    LowerTriangularParams p;
+    p.dim = 200;
+    p.depthLevels = 12;
+    p.avgOffDiagonal = 4.0;
+    p.seed = 33;
+    auto lower = makeLowerTriangular(p);
+    auto rhs_batch = seededRhsBatch(lower.dim(), 3, 34);
+
+    auto one = runCpuSparseSolve(lower, rhs_batch, {1, 1});
+    for (uint32_t threads : {2u, 4u, 8u}) {
+        auto many = runCpuSparseSolve(lower, rhs_batch, {threads, 1});
+        ASSERT_EQ(many.solutions.size(), one.solutions.size());
+        for (size_t b = 0; b < one.solutions.size(); ++b)
+            for (size_t i = 0; i < one.solutions[b].size(); ++i)
+                EXPECT_EQ(many.solutions[b][i], one.solutions[b][i])
+                    << threads << " " << b << " " << i;
+    }
+}
+
+TEST(CpuSparse, DiagonalSystemSolvesInOneLevel)
+{
+    std::vector<Triplet> trips;
+    for (uint32_t i = 0; i < 4; ++i)
+        trips.push_back({i, i, double(i + 1)});
+    auto m = SparseMatrixCsr::fromTriplets(4, trips);
+    auto r = runCpuSparseSolve(m, {{1.0, 2.0, 3.0, 4.0}});
+    EXPECT_EQ(r.levels, 1u);
+    ASSERT_EQ(r.solutions.size(), 1u);
+    for (uint32_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(r.solutions[0][i], 1.0);
 }
 
 TEST(Spatial, TreeUtilizationOnChainIsLow)

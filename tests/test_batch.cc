@@ -11,9 +11,12 @@
 
 #include "compiler/compiler.hh"
 #include "sim/batch.hh"
+#include "sim/machine.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "workloads/pc_generator.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
 
 namespace dpu {
 namespace {
@@ -236,6 +239,63 @@ TEST(BatchMachine, EmptyCoreSetRejected)
     auto prog = compile(d, smallConfig());
     EXPECT_THROW(BatchMachine(prog, CoreSet{}, 1), PanicError);
     EXPECT_THROW(BatchMachine(prog, 0u, 1), PanicError);
+}
+
+TEST(BatchSpTrsv, MultiRhsByteIdenticalToSingleSolves)
+{
+    // The batched multi-RHS serving contract: one factorization, many
+    // right-hand sides coalesced into one BatchMachine dispatch, with
+    // every per-RHS result byte-identical to an independent
+    // single-RHS solve — at every worker / batch-size / core-count
+    // combination (seeded; runs in the TSAN suite).
+    LowerTriangularParams p;
+    p.dim = 96;
+    p.depthLevels = 12;
+    p.avgOffDiagonal = 3.0;
+    p.seed = 31;
+    auto lower = makeLowerTriangular(p);
+    auto lowered = buildSpTrsvDag(lower);
+    auto prog = compile(lowered.dag, smallConfig());
+
+    for (size_t batch_size : {size_t(1), size_t(3), size_t(8)}) {
+        Rng rng(50 + batch_size);
+        std::vector<std::vector<double>> rhs_batch;
+        for (size_t b = 0; b < batch_size; ++b) {
+            std::vector<double> rhs(lower.dim());
+            for (auto &x : rhs)
+                x = rng.uniform() * 2 - 1;
+            rhs_batch.push_back(std::move(rhs));
+        }
+        auto inputs = sptrsvBatchInputs(lowered, lower, rhs_batch);
+
+        // Independent single-RHS solves, one Machine run each.
+        std::vector<SimResult> singles;
+        for (size_t b = 0; b < batch_size; ++b)
+            singles.push_back(runAndCheck(
+                prog, lowered.dag,
+                sptrsvInputValues(lowered, lower, rhs_batch[b])));
+
+        for (uint32_t cores : {1u, 4u}) {
+            for (uint32_t threads : {1u, 2u, 4u}) {
+                BatchMachine bm(prog, cores,
+                                prog.stats.numOperations, threads);
+                auto br = bm.run(inputs);
+                ASSERT_EQ(br.runs.size(), batch_size);
+                for (size_t b = 0; b < batch_size; ++b) {
+                    const auto &got = br.runs[b].outputs;
+                    const auto &want = singles[b].outputs;
+                    ASSERT_EQ(got.size(), want.size());
+                    for (size_t i = 0; i < got.size(); ++i)
+                        EXPECT_EQ(got[i], want[i]) // bitwise
+                            << "batch " << batch_size << " cores "
+                            << cores << " threads " << threads
+                            << " rhs " << b << " output " << i;
+                    EXPECT_EQ(br.runs[b].stats.cycles,
+                              singles[b].stats.cycles);
+                }
+            }
+        }
+    }
 }
 
 TEST(BatchMachine, ThreadCountDoesNotChangeModelClock)

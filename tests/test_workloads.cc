@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -105,6 +106,159 @@ TEST(SparseMatrix, MatrixMarketRejectsGarbage)
 {
     std::stringstream ss("not a matrix\n");
     EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(SparseMatrix, MatrixMarketSymmetricMirrors)
+{
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "symmetric\n"
+                         "3 3 4\n"
+                         "1 1 2.0\n2 2 2.0\n3 3 2.0\n3 1 -0.5\n");
+    auto m = readMatrixMarket(ss);
+    EXPECT_EQ(m.nnz(), 5u);
+    EXPECT_DOUBLE_EQ(m.at(2, 0), -0.5);
+    EXPECT_DOUBLE_EQ(m.at(0, 2), -0.5); // mirrored with +v
+}
+
+TEST(SparseMatrix, MatrixMarketSkewSymmetricNegatesMirror)
+{
+    // The old substring banner check classified skew-symmetric as
+    // symmetric and mirrored with the wrong sign.
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "skew-symmetric\n"
+                         "3 3 2\n"
+                         "2 1 0.5\n3 2 -0.25\n");
+    auto m = readMatrixMarket(ss);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -0.5); // mirrored with -v
+    EXPECT_DOUBLE_EQ(m.at(2, 1), -0.25);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 0.25);
+}
+
+TEST(SparseMatrix, MatrixMarketRejectsUnsupportedBanners)
+{
+    for (const char *banner :
+         {"%%MatrixMarket matrix coordinate complex general\n",
+          "%%MatrixMarket matrix coordinate real hermitian\n",
+          "%%MatrixMarket matrix coordinate pattern general\n",
+          "%%MatrixMarket matrix array real general\n",
+          "%%MatrixMarket vector coordinate real general\n"}) {
+        std::stringstream ss(std::string(banner) + "2 2 1\n1 1 1.0\n");
+        EXPECT_THROW(readMatrixMarket(ss), FatalError) << banner;
+    }
+}
+
+TEST(SparseMatrix, MatrixMarketAllowsBlankLines)
+{
+    // Real SuiteSparse files separate comments from the size line
+    // with blank lines; the old skip loop stopped at the first one.
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "general\n"
+                         "% a comment\n"
+                         "\n"
+                         "   \n"
+                         "2 2 3\n"
+                         "1 1 1.0\n2 1 0.5\n2 2 1.0\n");
+    auto m = readMatrixMarket(ss);
+    EXPECT_EQ(m.dim(), 2u);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 0.5);
+}
+
+TEST(SparseMatrix, MatrixMarketRejectsHugeEntriesHeader)
+{
+    // entries > rows*cols must fail before any multi-GB reserve.
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "general\n"
+                         "4 4 1000000000000000000\n"
+                         "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(SparseMatrix, MatrixMarketRejectsOversizedDimensions)
+{
+    // Dimensions past the uint32 index range used to be silently
+    // truncated by a static_cast.
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "general\n"
+                         "8589934592 8589934592 1\n"
+                         "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(SparseMatrix, MatrixMarketTruncatedEntriesFatal)
+{
+    std::stringstream ss("%%MatrixMarket matrix coordinate real "
+                         "general\n"
+                         "3 3 3\n"
+                         "1 1 1.0\n2 2 1.0\n");
+    EXPECT_THROW(readMatrixMarket(ss), FatalError);
+}
+
+TEST(SparseMatrix, MatrixMarketIntegerFieldAccepted)
+{
+    std::stringstream ss("%%MatrixMarket matrix coordinate integer "
+                         "general\n"
+                         "2 2 2\n"
+                         "1 1 3\n2 2 4\n");
+    auto m = readMatrixMarket(ss);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(SparseMatrix, LowerTriangularFromKeepsLowerAndFixesDiagonal)
+{
+    // Full matrix with an upper entry, a zero diagonal and a missing
+    // diagonal: the extraction drops the upper triangle and
+    // substitutes unit diagonals.
+    auto m = SparseMatrixCsr::fromTriplets(
+        3, {{0, 0, 0.0}, {0, 2, 9.0}, {1, 0, -2.0}, {2, 1, 3.0},
+            {2, 2, 4.0}});
+    auto lower = lowerTriangularFrom(m);
+    EXPECT_TRUE(lower.isLowerTriangular());
+    EXPECT_DOUBLE_EQ(lower.at(0, 0), 1.0); // zero diag -> unit
+    EXPECT_DOUBLE_EQ(lower.at(1, 1), 1.0); // missing diag -> unit
+    EXPECT_DOUBLE_EQ(lower.at(2, 2), 4.0); // kept
+    EXPECT_DOUBLE_EQ(lower.at(1, 0), -2.0);
+    EXPECT_DOUBLE_EQ(lower.at(0, 2), 0.0); // upper dropped
+}
+
+TEST(SparseMatrix, GoldenFixturesLoadAndMirror)
+{
+    const std::string dir = DPU_DATA_DIR;
+    auto chain = readMatrixMarketFile(dir + "/chain16.mtx");
+    EXPECT_EQ(chain.dim(), 16u);
+    EXPECT_EQ(chain.nnz(), 31u);
+    EXPECT_TRUE(chain.isLowerTriangular());
+    EXPECT_EQ(chain.dependencyDepth(), 16u);
+
+    // Symmetric mirroring round-trip: write the mirrored matrix as
+    // general and reread — identical entries.
+    auto mesh = readMatrixMarketFile(dir + "/mesh33.mtx");
+    EXPECT_EQ(mesh.dim(), 9u);
+    EXPECT_EQ(mesh.nnz(), 33u); // 21 stored, 12 mirrored
+    EXPECT_DOUBLE_EQ(mesh.at(0, 1), mesh.at(1, 0));
+    std::stringstream ss;
+    writeMatrixMarket(mesh, ss);
+    auto back = readMatrixMarket(ss);
+    ASSERT_EQ(back.nnz(), mesh.nnz());
+    for (uint32_t r = 0; r < mesh.dim(); ++r)
+        for (size_t k = mesh.rowBegin(r); k < mesh.rowEnd(r); ++k)
+            EXPECT_NEAR(back.at(r, mesh.colAt(k)), mesh.valueAt(k),
+                        1e-12);
+
+    auto skew = readMatrixMarketFile(dir + "/skew7.mtx");
+    EXPECT_EQ(skew.dim(), 7u);
+    EXPECT_EQ(skew.nnz(), 16u); // 8 stored, 8 mirrored
+    EXPECT_DOUBLE_EQ(skew.at(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(skew.at(0, 1), -0.5);
+}
+
+TEST(SparseMatrix, ReadMatrixMarketFileMissingFatal)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/nope.mtx"),
+                 FatalError);
 }
 
 TEST(SparseMatrix, ForwardSubstitutionSolves)
@@ -296,6 +450,79 @@ TEST(Suite, LargeSuiteSpecsPresent)
     EXPECT_EQ(largePcSuite().size(), 4u);
     EXPECT_EQ(pcSuite().size(), 6u);
     EXPECT_EQ(sptrsvSuite().size(), 6u);
+}
+
+TEST(Suite, MatrixWorkloadCarriesMeasuredStats)
+{
+    const std::string dir = DPU_DATA_DIR;
+    WorkloadSpec spec = matrixWorkload(dir + "/chain16.mtx");
+    EXPECT_EQ(spec.name, "chain16");
+    EXPECT_EQ(spec.cls, WorkloadClass::SpTrsv);
+    EXPECT_EQ(spec.matrixDim, 16u);
+    EXPECT_FALSE(spec.matrixPath.empty());
+
+    Dag d = buildWorkloadDag(spec); // scale ignored for file-backed
+    DagStats s = computeStats(d);
+    EXPECT_EQ(s.numOperations, spec.paperNodes);
+    EXPECT_EQ(s.longestPath, spec.paperLongestPath);
+}
+
+TEST(Suite, FileBackedWorkloadSolvesCorrectly)
+{
+    const std::string dir = DPU_DATA_DIR;
+    WorkloadSpec spec = matrixWorkload(dir + "/mesh33.mtx");
+    SparseMatrixCsr lower = loadWorkloadMatrix(spec);
+    EXPECT_TRUE(lower.isLowerTriangular());
+    EXPECT_EQ(lower.dependencyDepth(), 5u);
+
+    auto lowered = buildSpTrsvDag(lower);
+    Rng rng(11);
+    std::vector<double> b(lower.dim());
+    for (auto &x : b)
+        x = rng.uniform() * 2 - 1;
+    auto ref = solveLowerTriangular(lower, b);
+    auto x = sptrsvSolution(
+        lowered,
+        evaluate(lowered.dag, sptrsvInputValues(lowered, lower, b)));
+    ASSERT_EQ(x.size(), ref.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], ref[i], 1e-8 + 1e-6 * std::abs(ref[i]));
+}
+
+TEST(Suite, DiscoverMatrixFilesSortedAndFiltered)
+{
+    auto found = discoverMatrixFiles(DPU_DATA_DIR);
+    ASSERT_EQ(found.size(), 3u); // eval_table.json filtered out
+    EXPECT_TRUE(std::is_sorted(found.begin(), found.end()));
+    EXPECT_NE(found[0].find("chain16.mtx"), std::string::npos);
+    EXPECT_TRUE(discoverMatrixFiles("/nonexistent/dir").empty());
+}
+
+TEST(SpTrsv, BatchInputsBitIdenticalToSingle)
+{
+    const std::string dir = DPU_DATA_DIR;
+    SparseMatrixCsr lower = lowerTriangularFrom(
+        readMatrixMarketFile(dir + "/skew7.mtx"));
+    auto lowered = buildSpTrsvDag(lower);
+
+    std::vector<std::vector<double>> rhs_batch;
+    Rng rng(21);
+    for (int b = 0; b < 5; ++b) {
+        std::vector<double> rhs(lower.dim());
+        for (auto &x : rhs)
+            x = rng.uniform() * 2 - 1;
+        rhs_batch.push_back(std::move(rhs));
+    }
+    auto batch = sptrsvBatchInputs(lowered, lower, rhs_batch);
+    ASSERT_EQ(batch.size(), rhs_batch.size());
+    for (size_t b = 0; b < rhs_batch.size(); ++b) {
+        auto single =
+            sptrsvInputValues(lowered, lower, rhs_batch[b]);
+        ASSERT_EQ(batch[b].size(), single.size());
+        for (size_t i = 0; i < single.size(); ++i)
+            EXPECT_EQ(batch[b][i], single[i]) // bitwise, not NEAR
+                << "rhs " << b << " input " << i;
+    }
 }
 
 } // namespace

@@ -6,7 +6,12 @@
  * program + statistics out) without the Python/VCS stack:
  *
  *     dpuc <dag-file> [options]
+ *     dpuc --matrix=<file.mtx> [options]
  *
+ *     --matrix=<file.mtx>            compile the SpTRSV DAG lowered
+ *                                    from a Matrix Market file
+ *                                    (lower-triangularized) instead
+ *                                    of reading a .dag file
  *     --depth=N --banks=N --regs=N   architecture (default: min-EDP)
  *     --out=<file>                   write the packed binary image
  *     --prog=<file>                  write the self-contained program
@@ -42,6 +47,8 @@
 #include "sim/machine.hh"
 #include "support/cli.hh"
 #include "support/rng.hh"
+#include "workloads/sparse_matrix.hh"
+#include "workloads/sptrsv.hh"
 
 using namespace dpu;
 
@@ -50,6 +57,7 @@ namespace {
 struct Args
 {
     std::string dagPath;
+    std::string matrixPath;
     std::string outPath;
     std::string progPath;
     std::string dotPath;
@@ -94,6 +102,15 @@ parseArgs(int argc, char **argv, Args &args)
             u32("--banks", a + 8, args.cfg.banks);
         else if (std::strncmp(a, "--regs=", 7) == 0)
             u32("--regs", a + 7, args.cfg.regsPerBank);
+        else if (std::strncmp(a, "--matrix=", 9) == 0) {
+            args.matrixPath = a + 9;
+            if (args.matrixPath.empty()) {
+                std::fprintf(stderr,
+                             "dpuc: invalid value '' for --matrix "
+                             "(expected a .mtx file path)\n");
+                bad_value = 2;
+            }
+        }
         else if (std::strncmp(a, "--out=", 6) == 0)
             args.outPath = a + 6;
         else if (std::strncmp(a, "--prog=", 7) == 0)
@@ -143,9 +160,16 @@ parseArgs(int argc, char **argv, Args &args)
     }
     if (bad_value)
         return bad_value;
-    if (args.dagPath.empty()) {
+    if (args.dagPath.empty() == args.matrixPath.empty()) {
         std::fprintf(stderr,
-                     "usage: dpuc <dag-file> [--depth=N --banks=N "
+                     args.dagPath.empty()
+                         ? "dpuc: missing input (a <dag-file> or "
+                           "--matrix=<file.mtx>)\n"
+                         : "dpuc: both a <dag-file> and --matrix "
+                           "given; pick one input\n");
+        std::fprintf(stderr,
+                     "usage: dpuc <dag-file> | --matrix=<file.mtx> "
+                     "[--depth=N --banks=N "
                      "--regs=N --out=F --prog=F --disasm --dot=F "
                      "--optimize --simulate --verify --window=N "
                      "--partition=N --seed=N --threads=N]\n");
@@ -163,7 +187,18 @@ main(int argc, char **argv)
     if (int rc = parseArgs(argc, argv, args))
         return rc;
     try {
-        Dag dag = readDagFile(args.dagPath);
+        Dag dag;
+        if (!args.matrixPath.empty()) {
+            SparseMatrixCsr lower = lowerTriangularFrom(
+                readMatrixMarketFile(args.matrixPath));
+            std::printf("dpuc: matrix %s: %u rows, %zu nnz, "
+                        "dependency depth %zu\n",
+                        args.matrixPath.c_str(), lower.dim(),
+                        lower.nnz(), lower.dependencyDepth());
+            dag = buildSpTrsvDag(lower).dag;
+        } else {
+            dag = readDagFile(args.dagPath);
+        }
         std::printf("dpuc: %zu nodes (%zu operations, %zu inputs)\n",
                     dag.numNodes(), dag.numOperations(),
                     dag.numInputs());

@@ -9,6 +9,7 @@
  *                 [--cache-dir=<dir>] [--no-cache] [--list]
  *                 [--ranks=N] [--xfer-gbps=<v|inf>]
  *                 [--placement=<replicate|affinity>]
+ *                 [--matrix=<file.mtx>] [--matrix-dir=<dir>]
  *
  * For each bench `foo` it runs `<bindir>/foo [flags] --json=
  * <outdir>/BENCH_foo.json`, then validates that the report parses as
@@ -43,9 +44,11 @@
  * tree is built into ./build.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -84,6 +87,11 @@ struct DriverArgs
     uint32_t ranks = 1;
     std::string xferGbps;
     Placement placement = Placement::Replicate;
+
+    // Real-matrix passthrough: validated here (readable file /
+    // directory with .mtx files), forwarded to every bench; the
+    // matrix-aware benches must then report the real-matrix series.
+    std::vector<std::string> matrixPaths;
 };
 
 bool
@@ -147,6 +155,29 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args)
                 return false;
             }
             args.placementGiven = true;
+        } else if (std::strncmp(a, "--matrix=", 9) == 0) {
+            if (a[9] == '\0' || !std::ifstream(a + 9).good()) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--matrix (expected a readable .mtx "
+                             "file)\n",
+                             a + 9);
+                return false;
+            }
+            args.matrixPaths.emplace_back(a + 9);
+        } else if (std::strncmp(a, "--matrix-dir=", 13) == 0) {
+            std::vector<std::string> found =
+                discoverMatrixFiles(a + 13);
+            if (found.empty()) {
+                std::fprintf(stderr,
+                             "run_benches: invalid value '%s' for "
+                             "--matrix-dir (expected a directory "
+                             "containing .mtx files)\n",
+                             a + 13);
+                return false;
+            }
+            args.matrixPaths.insert(args.matrixPaths.end(),
+                                    found.begin(), found.end());
         } else {
             std::fprintf(stderr,
                          "run_benches: unknown option '%s'\n"
@@ -156,11 +187,27 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args)
                          "[--cache-dir=<dir>] [--no-cache] "
                          "[--ranks=N] [--xfer-gbps=<v|inf>] "
                          "[--placement=<policy>] "
+                         "[--matrix=<file.mtx>] [--matrix-dir=<dir>] "
                          "[--list]\n",
                          a);
             return false;
         }
     }
+    // --matrix and --matrix-dir may overlap (a file inside the
+    // discovered directory); forward each matrix to the benches once,
+    // keeping first-occurrence order.
+    std::vector<std::string> unique;
+    std::vector<std::string> canon;
+    for (const std::string &p : args.matrixPaths) {
+        std::error_code ec;
+        auto c = std::filesystem::weakly_canonical(p, ec);
+        std::string key = ec ? p : c.string();
+        if (std::find(canon.begin(), canon.end(), key) != canon.end())
+            continue;
+        canon.push_back(std::move(key));
+        unique.push_back(p);
+    }
+    args.matrixPaths = std::move(unique);
     return true;
 }
 
@@ -320,6 +367,8 @@ main(int argc, char **argv)
         if (args.placementGiven)
             cmd += std::string(" --placement=") +
                    placementName(args.placement);
+        for (const std::string &m : args.matrixPaths)
+            cmd += " --matrix=" + shellQuote(m);
         cmd += " --json=" + shellQuote(report);
 
         // The rank count this command actually models: the scenario's
@@ -334,11 +383,25 @@ main(int argc, char **argv)
             std::strcmp(binary, "serve_latency") == 0;
         bool require_mapper_series =
             std::strcmp(binary, "ablation_mapper") == 0;
+        // Real-matrix runs must carry the typed real-matrix series in
+        // the matrix-aware benches: the workload-table node counts,
+        // the batched multi-RHS throughput, and the measured CPU
+        // sparse baseline.
+        const char *matrix_series = nullptr;
+        if (!args.matrixPaths.empty()) {
+            if (std::strcmp(binary, "table1_workloads") == 0)
+                matrix_series = "\"real_matrix_nodes\"";
+            else if (std::strcmp(binary, "fig14a_throughput") == 0)
+                matrix_series = "\"real_matrix_multi_rhs_gops\"";
+            else if (std::strcmp(binary, "table3_comparison") == 0)
+                matrix_series = "\"real_cpu_sparse_gops\"";
+        }
 
         auto validate = [&](const std::string &rep) {
             std::string status = validate_harness_json(rep);
             if (status != "ok" ||
-                (!require_fleet_series && !require_mapper_series))
+                (!require_fleet_series && !require_mapper_series &&
+                 !matrix_series))
                 return status;
             std::ifstream in(rep);
             std::ostringstream buf;
@@ -368,6 +431,10 @@ main(int argc, char **argv)
                     "BAD JSON (mapper ablation missing "
                     "mapper_boundary_conflicts_* / "
                     "compile_pipeline_seconds series)");
+            if (matrix_series &&
+                text.find(matrix_series) == std::string::npos)
+                return "BAD JSON (real-matrix run missing " +
+                       std::string(matrix_series) + " series)";
             return status;
         };
         std::string status = run_one(cmd, report, validate);
